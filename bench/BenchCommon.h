@@ -1,0 +1,72 @@
+//===- bench/BenchCommon.h - Shared bench-harness helpers -----*- C++ -*-===//
+//
+// Part of the ALIC project: a reproduction of "Minimizing the Cost of
+// Iterative Compilation with Active Learning" (Ogilvie et al., CGO 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure replication binaries: scale banner,
+/// dataset construction, and the three sampling plans under comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIC_BENCH_BENCHCOMMON_H
+#define ALIC_BENCH_BENCHCOMMON_H
+
+#include "exp/Dataset.h"
+#include "exp/Runner.h"
+#include "exp/Scale.h"
+#include "spapt/Suite.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+namespace alic {
+
+/// Seed shared by all replication binaries (datasets decouple from the
+/// learners' measurement streams internally).
+inline constexpr uint64_t BenchDatasetSeed = 0xa11cebe7;
+inline constexpr uint64_t BenchRunSeed = 0x0911fe;
+
+/// Prints the standard scale banner.
+inline void printScaleBanner(const char *Binary) {
+  ExperimentScale S = ExperimentScale::fromEnv();
+  std::printf("# %s  [ALIC_SCALE=%s: %zu configs, nmax=%u, nc=%u, N=%u "
+              "particles, %u repetition(s)]\n",
+              Binary, scaleName(getScaleKind()), S.NumConfigs,
+              S.MaxTrainingExamples, S.CandidatesPerIteration, S.Particles,
+              S.Repetitions);
+}
+
+/// Builds the dataset for one benchmark at the ambient scale.
+inline Dataset benchDataset(const SpaptBenchmark &B,
+                            const ExperimentScale &S) {
+  return buildDataset(B, S.NumConfigs, S.TrainFraction, S.MeanObservations,
+                      BenchDatasetSeed);
+}
+
+/// Result of running all three plans of the paper's Figure 6.
+struct ThreePlanResult {
+  RunResult AllObservations; ///< fixed 35 (the baseline of [4])
+  RunResult OneObservation;  ///< fixed 1
+  RunResult Variable;        ///< the paper's sequential plan
+};
+
+inline ThreePlanResult runThreePlans(const SpaptBenchmark &B,
+                                     const Dataset &D,
+                                     const ExperimentScale &S) {
+  ThreePlanResult R;
+  R.AllObservations =
+      runAveraged(B, D, SamplingPlan::fixed(35), S, BenchRunSeed);
+  R.OneObservation =
+      runAveraged(B, D, SamplingPlan::fixed(1), S, BenchRunSeed);
+  R.Variable = runAveraged(B, D, SamplingPlan::sequential(S.ObservationCap),
+                           S, BenchRunSeed);
+  return R;
+}
+
+} // namespace alic
+
+#endif // ALIC_BENCH_BENCHCOMMON_H

@@ -1,0 +1,109 @@
+//===- bench/bench_ablation_model_cost.cpp - GP vs dynatree ---*- C++ -*-===//
+//
+// The paper's Section 3.2 rationale, measured: Gaussian-process inference
+// refits at O(n^3) per new observation, while a dynamic tree absorbs a
+// point in O(particles x depth) independent of n.  google-benchmark
+// micro-benchmarks over growing training-set sizes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dynatree/DynaTree.h"
+#include "gp/GaussianProcess.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace alic;
+
+namespace {
+
+/// Deterministic synthetic regression data in D=6 dims.
+void makeData(size_t N, std::vector<std::vector<double>> &X,
+              std::vector<double> &Y) {
+  Rng R(99);
+  X.clear();
+  Y.clear();
+  for (size_t I = 0; I != N; ++I) {
+    std::vector<double> Row(6);
+    for (double &V : Row)
+      V = R.nextUniform(-1, 1);
+    double Val = Row[0] * 2.0 + Row[1] * Row[1] - Row[2] +
+                 0.05 * R.nextGaussian();
+    X.push_back(std::move(Row));
+    Y.push_back(Val);
+  }
+}
+
+void BM_DynaTreeUpdate(benchmark::State &State) {
+  size_t N = size_t(State.range(0));
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  makeData(N + 64, X, Y);
+  DynaTreeConfig C;
+  C.NumParticles = 300;
+  DynaTree M(C);
+  M.fit({X.begin(), X.begin() + long(N)}, {Y.begin(), Y.begin() + long(N)});
+  size_t Next = N;
+  for (auto _ : State) {
+    M.update(X[Next % X.size()], Y[Next % Y.size()]);
+    ++Next;
+  }
+  State.SetLabel("O(particles x depth), independent of n");
+}
+
+void BM_GpRefitUpdate(benchmark::State &State) {
+  size_t N = size_t(State.range(0));
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  makeData(N + 64, X, Y);
+  GpConfig C;
+  C.OptimizeHyperParams = false;
+  C.Init.LengthScale = 1.0;
+  C.Init.NoiseVariance = 1e-3;
+  GaussianProcess M(C);
+  M.fit({X.begin(), X.begin() + long(N)}, {Y.begin(), Y.begin() + long(N)});
+  for (auto _ : State) {
+    M.refit(); // the O(n^3) solve a GP pays on every new observation
+    benchmark::DoNotOptimize(M.logMarginalLikelihood());
+  }
+  State.SetLabel("O(n^3) refit per observation");
+}
+
+void BM_DynaTreePredict(benchmark::State &State) {
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  makeData(size_t(State.range(0)), X, Y);
+  DynaTreeConfig C;
+  C.NumParticles = 300;
+  DynaTree M(C);
+  M.fit(X, Y);
+  std::vector<double> Probe = {0.1, -0.2, 0.3, 0.0, 0.5, -0.5};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(M.predict(Probe).Mean);
+}
+
+void BM_DynaTreeAlcScoring(benchmark::State &State) {
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  makeData(400, X, Y);
+  DynaTreeConfig C;
+  C.NumParticles = 300;
+  DynaTree M(C);
+  M.fit(X, Y);
+  size_t NumCands = size_t(State.range(0));
+  std::vector<std::vector<double>> Cands(X.begin(),
+                                         X.begin() + long(NumCands));
+  std::vector<std::vector<double>> Ref(X.begin() + 100, X.begin() + 200);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(M.alcScores(Cands, Ref).front());
+  State.SetLabel("leaf-cached Cohn ALC");
+}
+
+} // namespace
+
+BENCHMARK(BM_DynaTreeUpdate)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+BENCHMARK(BM_GpRefitUpdate)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+BENCHMARK(BM_DynaTreePredict)->Arg(100)->Arg(400);
+BENCHMARK(BM_DynaTreeAlcScoring)->Arg(50)->Arg(200);
+
+BENCHMARK_MAIN();

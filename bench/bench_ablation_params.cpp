@@ -1,0 +1,57 @@
+//===- bench/bench_ablation_params.cpp - sensitivity sweeps ---*- C++ -*-===//
+//
+// Sensitivity of the method to its two key knobs:
+//
+//  * particle count N (the paper uses 5000; how much smaller can the
+//    ensemble get before quality degrades?);
+//  * the per-example observation cap nobs (the paper caps at 35 and notes
+//    correlation would want more — Section 5.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace alic;
+
+int main() {
+  printScaleBanner("bench_ablation_params: particle count and observation "
+                   "cap sensitivity");
+  ExperimentScale Base = ExperimentScale::fromEnv();
+  Base.Repetitions = std::max(1u, Base.Repetitions / 2);
+
+  {
+    auto B = createSpaptBenchmark("gemver");
+    Dataset D = benchDataset(*B, Base);
+    Table Out({"particles", "final RMSE (s)", "cost (s)"});
+    for (unsigned Particles : {50u, 150u, 400u, 1000u}) {
+      ExperimentScale S = Base;
+      S.Particles = Particles;
+      RunResult R = runAveraged(*B, D, SamplingPlan::sequential(35), S,
+                                BenchRunSeed);
+      Out.addRow({std::to_string(Particles), formatPaperNumber(R.FinalRmse),
+                  formatPaperNumber(R.TotalCostSeconds)});
+      std::fprintf(stderr, "  gemver particles=%u done\n", Particles);
+    }
+    printBanner("gemver: particle-count sensitivity");
+    Out.print();
+  }
+
+  {
+    auto B = createSpaptBenchmark("correlation");
+    Dataset D = benchDataset(*B, Base);
+    Table Out({"observation cap", "final RMSE (s)", "revisits",
+               "distinct examples"});
+    for (unsigned Cap : {2u, 5u, 15u, 35u, 70u}) {
+      RunResult R = runAveraged(*B, D, SamplingPlan::sequential(Cap), Base,
+                                BenchRunSeed);
+      Out.addRow({std::to_string(Cap), formatPaperNumber(R.FinalRmse),
+                  std::to_string(R.Stats.Revisits),
+                  std::to_string(R.Stats.DistinctExamples)});
+      std::fprintf(stderr, "  correlation cap=%u done\n", Cap);
+    }
+    printBanner("correlation: observation-cap sensitivity (paper Section "
+                "5.2: 35 limits correlation's attainable speedup)");
+    Out.print();
+  }
+  return 0;
+}

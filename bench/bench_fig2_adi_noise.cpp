@@ -1,0 +1,42 @@
+//===- bench/bench_fig2_adi_noise.cpp - Paper Figure 2 --------*- C++ -*-===//
+//
+// Regenerates Figure 2: adi's runtime against the unroll factor of its
+// first sweep loop, one noisy observation per point.  The pattern the
+// paper highlights — a plateau, then a climb that levels off at a higher
+// plateau past unroll factor ~10 — comes from the recurrence chain the
+// sweep carries: unrolling cannot break it and inflates live ranges.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "measure/NoiseModel.h"
+
+using namespace alic;
+
+int main() {
+  printScaleBanner("bench_fig2_adi_noise: Figure 2 — adi runtime vs unroll "
+                   "factor, one observation per point");
+  auto B = createSpaptBenchmark("adi");
+
+  Table Out({"unroll i1", "observed runtime (s)", "true mean (s)"});
+  Config C = B->baselineConfig();
+  double First = 0.0, Last = 0.0;
+  for (int U = 1; U <= 30; ++U) {
+    C[1] = uint16_t(U - 1); // U_j1: the first sweep's recurrence loop
+    double Mean = B->meanRuntimeSeconds(C);
+    double Sigma = noiseSigmaRel(B->noise(), B->space(), C);
+    double Obs = drawMeasurement(B->noise(), Mean, Sigma,
+                                 hashCombine({0xf162ull, uint64_t(U)}), 0);
+    Out.addRow({std::to_string(U), formatString("%.3f", Obs),
+                formatString("%.3f", Mean)});
+    if (U == 1)
+      First = Mean;
+    Last = Mean;
+  }
+  Out.print();
+  std::printf("\nclimb from %.3fs to %.3fs (%.0f%%); paper: 2.1s plateau "
+              "climbing to 3.1s (+48%%) past unroll ~10, pattern visible "
+              "through single-sample noise.\n",
+              First, Last, 100.0 * (Last - First) / First);
+  return 0;
+}

@@ -1,0 +1,53 @@
+//===- bench/bench_fig5_speedup.cpp - Paper Figure 5 ----------*- C++ -*-===//
+//
+// Regenerates Figure 5: the per-benchmark reduction of profiling cost as a
+// bar chart (ASCII), ordered as in the paper.  Shares the Table 1
+// computation but runs at a reduced repetition count so the whole bench
+// directory stays fast; bench_table1_speedup is the authoritative run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "stats/Metrics.h"
+
+#include <algorithm>
+
+using namespace alic;
+
+int main() {
+  printScaleBanner("bench_fig5_speedup: Figure 5 — reduction of profiling "
+                   "cost vs the 35-observation baseline");
+  ExperimentScale S = ExperimentScale::fromEnv();
+  S.Repetitions = std::max(1u, S.Repetitions / 2);
+
+  // Paper's x-axis order for Figure 5.
+  const std::vector<std::string> Order = {"adi",       "mm",     "mvt",
+                                          "jacobi",    "bicgkernel", "lu",
+                                          "hessian",   "correlation", "atax",
+                                          "dgemv3",    "gemver"};
+  const std::vector<double> PaperBars = {0.29, 1.11, 1.18, 3.55, 3.59, 3.62,
+                                         3.69, 7.07, 13.93, 23.52, 26.00};
+
+  std::vector<double> Speedups;
+  for (const std::string &Name : Order) {
+    auto B = createSpaptBenchmark(Name);
+    Dataset D = benchDataset(*B, S);
+    RunResult Base =
+        runAveraged(*B, D, SamplingPlan::fixed(35), S, BenchRunSeed);
+    RunResult Ours = runAveraged(
+        *B, D, SamplingPlan::sequential(S.ObservationCap), S, BenchRunSeed);
+    Speedups.push_back(compareCurves(Base, Ours).Speedup);
+    std::fprintf(stderr, "  done %s\n", Name.c_str());
+  }
+
+  std::printf("\n%-12s %-8s %-8s  %s\n", "benchmark", "ours", "paper",
+              "reduction of profiling cost (#)");
+  for (size_t I = 0; I != Order.size(); ++I) {
+    int Bars = int(std::min(30.0, std::max(0.0, Speedups[I] * 2.0)));
+    std::printf("%-12s %7.2fx %7.2fx  %s\n", Order[I].c_str(), Speedups[I],
+                PaperBars[I], std::string(size_t(Bars), '#').c_str());
+  }
+  std::printf("%-12s %7.2fx %7.2fx\n", "geo-mean",
+              geometricMean(Speedups), 3.97);
+  return 0;
+}

@@ -1,0 +1,66 @@
+//===- bench/bench_fig6_curves.cpp - Paper Figure 6 -----------*- C++ -*-===//
+//
+// Regenerates Figure 6: test-set RMS error against cumulative evaluation
+// time (profiling + compilation) for the three sampling plans — 35
+// observations, one observation, and the paper's variable-observation
+// approach — on the six benchmarks the paper plots: adi, atax,
+// correlation, gemver, jacobi, mvt.  Series are printed row-wise and also
+// written to CSV for replotting.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace alic;
+
+int main() {
+  printScaleBanner("bench_fig6_curves: Figure 6 — RMSE vs evaluation time "
+                   "for three sampling plans");
+  ExperimentScale S = ExperimentScale::fromEnv();
+
+  const std::vector<std::string> Benchmarks = {"adi",    "atax", "correlation",
+                                               "gemver", "jacobi", "mvt"};
+  Table Csv({"benchmark", "plan", "iteration", "cost_seconds", "rmse"});
+
+  for (const std::string &Name : Benchmarks) {
+    auto B = createSpaptBenchmark(Name);
+    Dataset D = benchDataset(*B, S);
+    ThreePlanResult R = runThreePlans(*B, D, S);
+
+    printBanner("Figure 6: " + Name);
+    const std::pair<const char *, const RunResult *> Plans[] = {
+        {"all observations", &R.AllObservations},
+        {"one observation", &R.OneObservation},
+        {"variable observations", &R.Variable}};
+    Table Out({"plan", "iter", "cost (s)", "RMSE (s)"});
+    for (const auto &[PlanName, Run] : Plans) {
+      size_t Stride = std::max<size_t>(1, Run->Curve.size() / 8);
+      for (size_t I = 0; I < Run->Curve.size(); I += Stride) {
+        const CurvePoint &P = Run->Curve[I];
+        Out.addRow({PlanName, std::to_string(P.Iteration),
+                    formatPaperNumber(P.CostSeconds),
+                    formatPaperNumber(P.Rmse)});
+      }
+      const CurvePoint &End = Run->Curve.back();
+      Out.addRow({PlanName, std::to_string(End.Iteration),
+                  formatPaperNumber(End.CostSeconds),
+                  formatPaperNumber(End.Rmse)});
+      for (const CurvePoint &P : Run->Curve)
+        Csv.addRow({Name, PlanName, std::to_string(P.Iteration),
+                    formatString("%.3f", P.CostSeconds),
+                    formatString("%.6f", P.Rmse)});
+    }
+    Out.print();
+    std::fprintf(stderr, "  done %s\n", Name.c_str());
+  }
+
+  if (Csv.writeCsv("fig6_curves.csv"))
+    std::printf("\nfull series written to fig6_curves.csv\n");
+  std::printf(
+      "paper shapes: adi — variable trails the 35-obs baseline but beats "
+      "one-obs' plateau; atax/gemver — variable matches one-obs and both "
+      "dwarf the baseline's cost; correlation — error stays high for all "
+      "plans, one-obs worst; jacobi — variable slightly cautious but far "
+      "cheaper than fixed; mvt — small gaps between all plans.\n");
+  return 0;
+}

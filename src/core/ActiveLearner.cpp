@@ -1,0 +1,198 @@
+//===- core/ActiveLearner.cpp ---------------------------------*- C++ -*-===//
+
+#include "core/ActiveLearner.h"
+
+#include "stats/Metrics.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace alic;
+
+SamplingPlan SamplingPlan::fixed(unsigned Observations) {
+  SamplingPlan P;
+  P.PlanKind = Kind::Fixed;
+  P.FixedObservations = Observations;
+  return P;
+}
+
+SamplingPlan SamplingPlan::sequential(unsigned Cap) {
+  SamplingPlan P;
+  P.PlanKind = Kind::Sequential;
+  P.MaxObservationsPerExample = Cap;
+  return P;
+}
+
+const char *SamplingPlan::name() const {
+  if (PlanKind == Kind::Sequential)
+    return "variable observations";
+  return FixedObservations == 1 ? "one observation" : "all observations";
+}
+
+ActiveLearner::ActiveLearner(const WorkloadOracle &Oracle,
+                             SurrogateModel &Model, Normalizer Norm,
+                             std::vector<Config> Pool, SamplingPlan Plan,
+                             ActiveLearnerConfig Cfg)
+    : Oracle(Oracle), Model(Model), Norm(std::move(Norm)),
+      Pool(std::move(Pool)), Plan(Plan), Cfg(Cfg),
+      Prof(Oracle, hashCombine({Cfg.Seed, 0x50524f46ull})),
+      Generator(Cfg.Seed) {
+  assert(!this->Pool.empty() && "training pool must not be empty");
+  assert(Cfg.NumInitial >= 1 && "need at least one seed example");
+  Unseen.resize(this->Pool.size());
+  for (size_t I = 0; I != this->Pool.size(); ++I)
+    Unseen[I] = uint32_t(I);
+}
+
+std::vector<double> ActiveLearner::featuresOf(const Config &C) const {
+  return Norm.transform(Oracle.space().features(C));
+}
+
+void ActiveLearner::seed() {
+  // Label ninit random examples with a full set of observations each, so
+  // the learner starts from a quick but accurate look at the space
+  // (Section 3.1: "good quality data" for the seed).
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  unsigned NumSeed = std::min<unsigned>(Cfg.NumInitial,
+                                        unsigned(Unseen.size()));
+  for (unsigned I = 0; I != NumSeed; ++I) {
+    size_t Slot = size_t(Generator.nextBounded(Unseen.size()));
+    uint32_t PoolIdx = Unseen[Slot];
+    Unseen[Slot] = Unseen.back();
+    Unseen.pop_back();
+    const Config &C = Pool[PoolIdx];
+    std::vector<double> Obs = Prof.measure(C, Cfg.InitObservations);
+    Stats.Observations += Obs.size();
+    ++Stats.DistinctExamples;
+    X.push_back(featuresOf(C));
+    Y.push_back(arithmeticMean(Obs));
+  }
+  Model.fit(X, Y);
+  Seeded = true;
+}
+
+bool ActiveLearner::done() const {
+  if (!Seeded)
+    return false;
+  if (Stats.Iterations >= Cfg.MaxTrainingExamples)
+    return true;
+  return Unseen.empty() && Revisitable.empty();
+}
+
+bool ActiveLearner::step() {
+  if (!Seeded) {
+    seed();
+    return true;
+  }
+  if (done())
+    return false;
+
+  // --- Assemble the candidate set (Alg. 1 lines 7-11) -------------------
+  // nc never-observed configurations ...
+  struct Candidate {
+    uint32_t PoolIdx;
+    bool Revisit;
+  };
+  std::vector<Candidate> Candidates;
+  unsigned Nc = std::min<size_t>(Cfg.CandidatesPerIteration,
+                                 Unseen.size());
+  std::vector<size_t> Fresh = Generator.sampleIndices(Unseen.size(), Nc);
+  Candidates.reserve(Fresh.size() + Revisitable.size());
+  for (size_t Slot : Fresh)
+    Candidates.push_back({Unseen[Slot], false});
+  // ... plus every visited example still short of the observation cap.
+  for (uint32_t PoolIdx : Revisitable)
+    Candidates.push_back({PoolIdx, true});
+  if (Candidates.empty())
+    return false;
+
+  // --- Score the candidates (Alg. 1 lines 12-20) ------------------------
+  std::vector<size_t> Chosen;
+  unsigned Batch = std::max(1u, Cfg.BatchSize);
+  if (Cfg.Scorer == ScorerKind::Random) {
+    std::vector<size_t> Order =
+        Generator.sampleIndices(Candidates.size(),
+                                std::min<size_t>(Batch, Candidates.size()));
+    Chosen = Order;
+  } else {
+    std::vector<std::vector<double>> CandFeatures;
+    CandFeatures.reserve(Candidates.size());
+    for (const Candidate &C : Candidates)
+      CandFeatures.push_back(featuresOf(Pool[C.PoolIdx]));
+
+    std::vector<double> Scores;
+    if (Cfg.Scorer == ScorerKind::Alm) {
+      Scores = Model.almScores(CandFeatures);
+    } else {
+      // Reference sample over which the average variance is minimized.
+      unsigned NumRef = std::min<size_t>(Cfg.ReferenceSetSize,
+                                         Pool.size());
+      std::vector<std::vector<double>> Ref;
+      Ref.reserve(NumRef);
+      for (size_t Slot : Generator.sampleIndices(Pool.size(), NumRef))
+        Ref.push_back(featuresOf(Pool[Slot]));
+      Scores = Model.alcScores(CandFeatures, Ref);
+    }
+
+    // Top-Batch scores (selecting several examples per loop iteration is
+    // the parallel variant the paper mentions after Alg. 1).
+    std::vector<size_t> Order(Candidates.size());
+    for (size_t I = 0; I != Order.size(); ++I)
+      Order[I] = I;
+    std::partial_sort(Order.begin(),
+                      Order.begin() +
+                          std::min<size_t>(Batch, Order.size()),
+                      Order.end(), [&Scores](size_t A, size_t B) {
+                        return Scores[A] > Scores[B];
+                      });
+    Order.resize(std::min<size_t>(Batch, Order.size()));
+    Chosen = Order;
+  }
+
+  // --- Label the chosen example(s) and update the model -----------------
+  for (size_t Pick : Chosen) {
+    if (done())
+      break;
+    const Candidate &C = Candidates[Pick];
+    const Config &Conf = Pool[C.PoolIdx];
+
+    if (Plan.PlanKind == SamplingPlan::Kind::Fixed) {
+      std::vector<double> Obs = Prof.measure(Conf, Plan.FixedObservations);
+      Stats.Observations += Obs.size();
+      ++Stats.DistinctExamples;
+      Model.update(featuresOf(Conf), arithmeticMean(Obs));
+    } else {
+      double Y = Prof.measureOnce(Conf);
+      ++Stats.Observations;
+      Model.update(featuresOf(Conf), Y);
+      unsigned &Count = ObsCount[C.PoolIdx];
+      if (C.Revisit) {
+        ++Stats.Revisits;
+      } else {
+        ++Stats.DistinctExamples;
+        Revisitable.push_back(C.PoolIdx);
+      }
+      ++Count;
+      if (Count >= Plan.MaxObservationsPerExample) {
+        auto It = std::find(Revisitable.begin(), Revisitable.end(),
+                            C.PoolIdx);
+        if (It != Revisitable.end()) {
+          *It = Revisitable.back();
+          Revisitable.pop_back();
+        }
+      }
+    }
+
+    if (!C.Revisit) {
+      // Remove the configuration from the unseen pool.
+      auto It = std::find(Unseen.begin(), Unseen.end(), C.PoolIdx);
+      assert(It != Unseen.end() && "fresh candidate missing from pool");
+      *It = Unseen.back();
+      Unseen.pop_back();
+    }
+    ++Stats.Iterations;
+  }
+  return true;
+}

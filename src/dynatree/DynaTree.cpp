@@ -1,0 +1,475 @@
+//===- dynatree/DynaTree.cpp ----------------------------------*- C++ -*-===//
+
+#include "dynatree/DynaTree.h"
+
+#include "stats/Distributions.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace alic;
+
+DynaTree::DynaTree(DynaTreeConfig Config)
+    : Config(Config), Generator(Config.Seed) {
+  assert(Config.NumParticles >= 1 && "need at least one particle");
+  assert(Config.MinLeafSize >= 1 && "leaves need at least one observation");
+}
+
+double DynaTree::splitProbability(unsigned Depth) const {
+  return Config.SplitAlpha * std::pow(1.0 + double(Depth), -Config.SplitBeta);
+}
+
+//===----------------------------------------------------------------------===//
+// Leaf posterior (Normal-Inverse-Gamma conjugate algebra)
+//===----------------------------------------------------------------------===//
+
+double DynaTree::logMarginal(uint32_t N, double SumY, double SumY2) const {
+  if (N == 0)
+    return 0.0;
+  double K0 = Config.PriorKappa;
+  double A0 = Config.PriorShape;
+  double B0 = PriorScale;
+  double M0 = PriorMean;
+  double Nd = double(N);
+  double Mean = SumY / Nd;
+  double Ss = std::max(0.0, SumY2 - Nd * Mean * Mean);
+  double Kn = K0 + Nd;
+  double An = A0 + 0.5 * Nd;
+  double Bn = B0 + 0.5 * Ss +
+              0.5 * K0 * Nd * (Mean - M0) * (Mean - M0) / Kn;
+  return logGamma(An) - logGamma(A0) + A0 * std::log(B0) -
+         An * std::log(Bn) + 0.5 * (std::log(K0) - std::log(Kn)) -
+         0.5 * Nd * std::log(2.0 * M_PI);
+}
+
+/// Posterior NIG parameters of a leaf.
+namespace {
+struct LeafPosterior {
+  double Mn, Kn, An, Bn;
+};
+} // namespace
+
+static LeafPosterior posteriorOf(uint32_t N, double SumY, double SumY2,
+                                 double K0, double A0, double B0, double M0) {
+  double Nd = double(N);
+  double Mean = N ? SumY / Nd : 0.0;
+  double Ss = N ? std::max(0.0, SumY2 - Nd * Mean * Mean) : 0.0;
+  LeafPosterior P;
+  P.Kn = K0 + Nd;
+  P.Mn = (K0 * M0 + SumY) / P.Kn;
+  P.An = A0 + 0.5 * Nd;
+  P.Bn = B0 + 0.5 * Ss + 0.5 * K0 * Nd * (Mean - M0) * (Mean - M0) / P.Kn;
+  return P;
+}
+
+double DynaTree::logPredictive(const Node &Leaf, double Y) const {
+  LeafPosterior P = posteriorOf(Leaf.Count, Leaf.SumY, Leaf.SumY2,
+                                Config.PriorKappa, Config.PriorShape,
+                                PriorScale, PriorMean);
+  // Student-t with df = 2*An, location Mn, scale^2 = Bn (Kn+1) / (An Kn).
+  double Df = 2.0 * P.An;
+  double Scale2 = P.Bn * (P.Kn + 1.0) / (P.An * P.Kn);
+  double Scale = std::sqrt(Scale2);
+  double Z = (Y - P.Mn) / Scale;
+  return std::log(studentTPdf(Z, Df) / Scale);
+}
+
+Prediction DynaTree::leafPredictive(const Node &Leaf) const {
+  LeafPosterior P = posteriorOf(Leaf.Count, Leaf.SumY, Leaf.SumY2,
+                                Config.PriorKappa, Config.PriorShape,
+                                PriorScale, PriorMean);
+  double Df = 2.0 * P.An;
+  double Scale2 = P.Bn * (P.Kn + 1.0) / (P.An * P.Kn);
+  Prediction Out;
+  Out.Mean = P.Mn;
+  Out.Variance = Df > 2.0 ? Scale2 * Df / (Df - 2.0) : Scale2 * 3.0;
+  return Out;
+}
+
+double DynaTree::leafVarianceDrop(const Node &Leaf) const {
+  LeafPosterior P = posteriorOf(Leaf.Count, Leaf.SumY, Leaf.SumY2,
+                                Config.PriorKappa, Config.PriorShape,
+                                PriorScale, PriorMean);
+  // sigma2_hat * [ (Kn+1)/Kn - (Kn+2)/(Kn+1) ]: the expected shrink of the
+  // predictive variance when the leaf absorbs one more observation.
+  double Sigma2 = P.An > 1.0 ? P.Bn / (P.An - 1.0) : P.Bn;
+  double Now = (P.Kn + 1.0) / P.Kn;
+  double Then = (P.Kn + 2.0) / (P.Kn + 1.0);
+  return Sigma2 * (Now - Then);
+}
+
+//===----------------------------------------------------------------------===//
+// Tree navigation and bookkeeping
+//===----------------------------------------------------------------------===//
+
+int32_t DynaTree::findLeaf(const Particle &P,
+                           const std::vector<double> &X) const {
+  int32_t Idx = 0;
+  while (P.Nodes[Idx].Left >= 0) {
+    const Node &N = P.Nodes[Idx];
+    Idx = X[N.SplitDim] <= N.SplitValue ? N.Left : N.Right;
+  }
+  return Idx;
+}
+
+void DynaTree::absorb(Particle &P, int32_t LeafIdx, uint32_t PointIdx) {
+  Node &Leaf = P.Nodes[LeafIdx];
+  double Y = DataY[PointIdx];
+  Leaf.SumY += Y;
+  Leaf.SumY2 += Y * Y;
+  ++Leaf.Count;
+  Leaf.Points.push_back(PointIdx);
+}
+
+//===----------------------------------------------------------------------===//
+// SMC machinery
+//===----------------------------------------------------------------------===//
+
+void DynaTree::resample(const std::vector<double> &LogWeights, Rng &R) {
+  size_t N = Particles.size();
+  double MaxLw = *std::max_element(LogWeights.begin(), LogWeights.end());
+  std::vector<double> W(N);
+  double Sum = 0.0;
+  for (size_t I = 0; I != N; ++I) {
+    W[I] = std::exp(LogWeights[I] - MaxLw);
+    Sum += W[I];
+  }
+  if (!(Sum > 0.0) || !std::isfinite(Sum)) {
+    LastEss = double(N);
+    return; // degenerate weights: keep the current ensemble
+  }
+  double Ess = 0.0;
+  for (double &Wi : W) {
+    Wi /= Sum;
+    Ess += Wi * Wi;
+  }
+  LastEss = 1.0 / Ess;
+
+  // Systematic resampling.
+  std::vector<uint32_t> Counts(N, 0);
+  double U = R.nextDouble() / double(N);
+  double Cum = 0.0;
+  size_t J = 0;
+  for (size_t I = 0; I != N; ++I) {
+    Cum += W[I];
+    while (J < N && U + double(J) / double(N) <= Cum + 1e-15) {
+      ++Counts[I];
+      ++J;
+    }
+  }
+
+  // Materialize: reuse surviving particles in place, copy duplicates.
+  std::vector<Particle> Next;
+  Next.reserve(N);
+  for (size_t I = 0; I != N; ++I) {
+    for (uint32_t C = 1; C < Counts[I]; ++C)
+      Next.push_back(Particles[I]); // copy
+    if (Counts[I] > 0)
+      Next.push_back(std::move(Particles[I]));
+  }
+  assert(Next.size() == N && "systematic resampling must preserve count");
+  Particles = std::move(Next);
+}
+
+void DynaTree::propagate(Particle &P, uint32_t PointIdx, Rng &R) {
+  const std::vector<double> &X = DataX[PointIdx];
+  int32_t LeafIdx = findLeaf(P, X);
+  Node &Leaf = P.Nodes[LeafIdx];
+  unsigned D = Leaf.Depth;
+
+  double NewY = DataY[PointIdx];
+  double LStay = logMarginal(Leaf.Count + 1, Leaf.SumY + NewY,
+                             Leaf.SumY2 + NewY * NewY);
+
+  // --- Candidate: grow -----------------------------------------------
+  // Multiple-try proposal: draw a handful of (dimension, cut) pairs from
+  // the leaf's data range, weight each by the posterior of the resulting
+  // split, and let their average compete against stay/prune.  This
+  // approximates marginalizing the grow move over cut positions, which a
+  // single uniform draw does far too weakly.
+  bool CanGrow = Leaf.Count + 1 >= 2 * Config.MinLeafSize;
+  int GrowDim = -1;
+  double GrowCut = 0.0;
+  double LGrow = -1e300;
+  if (CanGrow) {
+    size_t Dims = X.size();
+    std::vector<int> Spread;
+    for (size_t Dim = 0; Dim != Dims; ++Dim) {
+      double Lo = X[Dim], Hi = X[Dim];
+      for (uint32_t Pt : Leaf.Points) {
+        Lo = std::min(Lo, DataX[Pt][Dim]);
+        Hi = std::max(Hi, DataX[Pt][Dim]);
+      }
+      if (Hi > Lo)
+        Spread.push_back(int(Dim));
+    }
+    const unsigned NumTries = 4;
+    double BestL = -1e300;
+    double Pd = splitProbability(D);
+    double Pd1 = splitProbability(D + 1);
+    double PriorTerm = std::log(Pd) + 2.0 * std::log(1.0 - Pd1) -
+                       std::log(1.0 - Pd);
+    for (unsigned Try = 0; Try != NumTries && !Spread.empty(); ++Try) {
+      int Dim = Spread[R.nextBounded(Spread.size())];
+      double Lo = X[Dim], Hi = X[Dim];
+      for (uint32_t Pt : Leaf.Points) {
+        Lo = std::min(Lo, DataX[Pt][Dim]);
+        Hi = std::max(Hi, DataX[Pt][Dim]);
+      }
+      double Cut = R.nextUniform(Lo, Hi);
+      uint32_t Nl = 0, Nr = 0;
+      double Sl = 0, Sl2 = 0, Sr = 0, Sr2 = 0;
+      auto Add = [&](double Xd, double Y) {
+        if (Xd <= Cut) {
+          ++Nl;
+          Sl += Y;
+          Sl2 += Y * Y;
+        } else {
+          ++Nr;
+          Sr += Y;
+          Sr2 += Y * Y;
+        }
+      };
+      for (uint32_t Pt : Leaf.Points)
+        Add(DataX[Pt][Dim], DataY[Pt]);
+      Add(X[Dim], NewY);
+      if (Nl < Config.MinLeafSize || Nr < Config.MinLeafSize)
+        continue;
+      double L = PriorTerm + logMarginal(Nl, Sl, Sl2) +
+                 logMarginal(Nr, Sr, Sr2);
+      if (L > BestL) {
+        BestL = L;
+        GrowDim = Dim;
+        GrowCut = Cut;
+      }
+    }
+    if (GrowDim >= 0)
+      LGrow = BestL;
+  }
+
+  // --- Candidate: prune (only when the sibling is also a leaf) ----------
+  double LPrune = -1e300;
+  int32_t ParentIdx = Leaf.Parent;
+  int32_t SiblingIdx = -1;
+  if (ParentIdx >= 0) {
+    const Node &Parent = P.Nodes[ParentIdx];
+    SiblingIdx = Parent.Left == LeafIdx ? Parent.Right : Parent.Left;
+    const Node &Sibling = P.Nodes[SiblingIdx];
+    if (Sibling.Left < 0) {
+      // Relative to stay, pruning trades the parent's split factor and the
+      // two leaf marginals for one merged-leaf marginal; the leaf+new
+      // marginal shared with LStay cancels in the sampling ratio.
+      double PParent = splitProbability(D - 1);
+      double PHere = splitProbability(D);
+      LPrune = std::log(1.0 - PParent) - std::log(PParent) -
+               2.0 * std::log(1.0 - PHere) +
+               logMarginal(Leaf.Count + Sibling.Count + 1,
+                           Leaf.SumY + Sibling.SumY + NewY,
+                           Leaf.SumY2 + Sibling.SumY2 + NewY * NewY) -
+               logMarginal(Sibling.Count, Sibling.SumY, Sibling.SumY2);
+    }
+  }
+
+  // --- Sample the move --------------------------------------------------
+  double MaxL = std::max(LStay, std::max(LGrow, LPrune));
+  double WStay = std::exp(LStay - MaxL);
+  double WGrow = GrowDim >= 0 ? std::exp(LGrow - MaxL) : 0.0;
+  double WPrune = LPrune > -1e299 ? std::exp(LPrune - MaxL) : 0.0;
+  double Total = WStay + WGrow + WPrune;
+  double Draw = R.nextDouble() * Total;
+
+  if (Draw < WGrow && GrowDim >= 0) {
+    // Grow: the leaf becomes internal with two fresh children.
+    int32_t L = int32_t(P.Nodes.size());
+    int32_t Rr = L + 1;
+    Node LeftChild, RightChild;
+    LeftChild.Parent = LeafIdx;
+    RightChild.Parent = LeafIdx;
+    LeftChild.Depth = RightChild.Depth = uint16_t(D + 1);
+    // Re-partition the points (including the new one).
+    std::vector<uint32_t> Pts = P.Nodes[LeafIdx].Points;
+    Pts.push_back(PointIdx);
+    for (uint32_t Pt : Pts) {
+      Node &Side = DataX[Pt][GrowDim] <= GrowCut ? LeftChild : RightChild;
+      Side.Points.push_back(Pt);
+      Side.SumY += DataY[Pt];
+      Side.SumY2 += DataY[Pt] * DataY[Pt];
+      ++Side.Count;
+    }
+    P.Nodes.push_back(std::move(LeftChild));
+    P.Nodes.push_back(std::move(RightChild));
+    Node &NewInternal = P.Nodes[LeafIdx];
+    NewInternal.Left = L;
+    NewInternal.Right = Rr;
+    NewInternal.SplitDim = int16_t(GrowDim);
+    NewInternal.SplitValue = GrowCut;
+    NewInternal.Points.clear();
+    NewInternal.Points.shrink_to_fit();
+    NewInternal.Count = 0;
+    NewInternal.SumY = NewInternal.SumY2 = 0.0;
+    return;
+  }
+
+  if (Draw < WGrow + WPrune && WPrune > 0.0) {
+    // Prune: the parent becomes a leaf holding both children's data.
+    Node &Parent = P.Nodes[ParentIdx];
+    Node &Sibling = P.Nodes[SiblingIdx];
+    Node &Self = P.Nodes[LeafIdx];
+    Parent.Left = Parent.Right = -1;
+    Parent.SplitDim = -1;
+    Parent.Points = std::move(Self.Points);
+    Parent.Points.insert(Parent.Points.end(), Sibling.Points.begin(),
+                         Sibling.Points.end());
+    Parent.Count = Self.Count + Sibling.Count;
+    Parent.SumY = Self.SumY + Sibling.SumY;
+    Parent.SumY2 = Self.SumY2 + Sibling.SumY2;
+    // Old child nodes become unreachable; absorb the new point and leave
+    // them in place (compaction is not worth the bookkeeping).
+    Self = Node();
+    Sibling = Node();
+    absorb(P, ParentIdx, PointIdx);
+    return;
+  }
+
+  // Stay.
+  absorb(P, LeafIdx, PointIdx);
+}
+
+//===----------------------------------------------------------------------===//
+// Public interface
+//===----------------------------------------------------------------------===//
+
+void DynaTree::fit(const std::vector<std::vector<double>> &X,
+                   const std::vector<double> &Y) {
+  assert(X.size() == Y.size() && !X.empty() && "bad training batch");
+  DataX.clear();
+  DataY.clear();
+  Particles.clear();
+  Generator = Rng(Config.Seed);
+
+  // Empirical prior from the seed batch.
+  double Sum = 0.0, Sum2 = 0.0;
+  for (double Yi : Y) {
+    Sum += Yi;
+    Sum2 += Yi * Yi;
+  }
+  double N = double(Y.size());
+  PriorMean = Sum / N;
+  double Var = N > 1 ? std::max(1e-12, (Sum2 - Sum * Sum / N) / (N - 1))
+                     : 1.0;
+  // E[sigma^2] = B0/(A0-1) == PriorScaleFactor * seed variance: the prior
+  // expects leaves to explain most of the global variance.
+  PriorScale = Config.PriorScaleFactor * Var * (Config.PriorShape - 1.0);
+
+  // All particles start as a single empty root leaf.
+  Particle Root;
+  Root.Nodes.emplace_back();
+  Particles.assign(Config.NumParticles, Root);
+
+  for (size_t I = 0; I != X.size(); ++I)
+    update(X[I], Y[I]);
+}
+
+void DynaTree::update(const std::vector<double> &X, double Y) {
+  assert(!Particles.empty() && "fit() must seed the model first");
+  uint32_t PointIdx = uint32_t(DataX.size());
+  DataX.push_back(X);
+  DataY.push_back(Y);
+
+  // 1-2. Reweight by posterior predictive and resample (skip while the
+  // ensemble is still nearly empty — the weights would all be equal).
+  if (PointIdx >= 2) {
+    std::vector<double> LogW(Particles.size());
+    for (size_t I = 0; I != Particles.size(); ++I) {
+      const Particle &P = Particles[I];
+      int32_t Leaf = findLeaf(P, X);
+      LogW[I] = logPredictive(P.Nodes[Leaf], Y);
+    }
+    resample(LogW, Generator);
+  }
+
+  // 3-4. Propagate every particle with a local stay/prune/grow move.
+  for (Particle &P : Particles)
+    propagate(P, PointIdx, Generator);
+}
+
+Prediction DynaTree::predict(const std::vector<double> &X) const {
+  assert(!Particles.empty() && "model not fitted");
+  // Mixture over particles; variance via the law of total variance.
+  double MeanSum = 0.0, VarSum = 0.0, Mean2Sum = 0.0;
+  for (const Particle &P : Particles) {
+    Prediction Leaf = leafPredictive(P.Nodes[findLeaf(P, X)]);
+    MeanSum += Leaf.Mean;
+    VarSum += Leaf.Variance;
+    Mean2Sum += Leaf.Mean * Leaf.Mean;
+  }
+  double Np = double(Particles.size());
+  Prediction Out;
+  Out.Mean = MeanSum / Np;
+  Out.Variance = VarSum / Np + Mean2Sum / Np - Out.Mean * Out.Mean;
+  if (Out.Variance < 0.0)
+    Out.Variance = 0.0;
+  return Out;
+}
+
+std::vector<double> DynaTree::almScores(
+    const std::vector<std::vector<double>> &Candidates) const {
+  std::vector<double> Scores;
+  Scores.reserve(Candidates.size());
+  for (const auto &X : Candidates)
+    Scores.push_back(predict(X).Variance);
+  return Scores;
+}
+
+std::vector<double> DynaTree::alcScores(
+    const std::vector<std::vector<double>> &Candidates,
+    const std::vector<std::vector<double>> &Reference) const {
+  assert(!Particles.empty() && "model not fitted");
+  // Per particle: count reference points per leaf once, then each
+  // candidate's score is refCount(leaf) * expected variance drop — the
+  // closed form of Cohn's ALC under constant leaves.
+  std::vector<double> Scores(Candidates.size(), 0.0);
+  std::vector<uint32_t> RefCount;
+  for (const Particle &P : Particles) {
+    RefCount.assign(P.Nodes.size(), 0);
+    for (const auto &R : Reference)
+      ++RefCount[size_t(findLeaf(P, R))];
+    for (size_t C = 0; C != Candidates.size(); ++C) {
+      int32_t Leaf = findLeaf(P, Candidates[C]);
+      if (RefCount[size_t(Leaf)] == 0)
+        continue;
+      Scores[C] += double(RefCount[size_t(Leaf)]) *
+                   leafVarianceDrop(P.Nodes[size_t(Leaf)]);
+    }
+  }
+  double Np = double(Particles.size());
+  for (double &S : Scores)
+    S /= Np;
+  return Scores;
+}
+
+double DynaTree::averageLeafCount() const {
+  double Total = 0.0;
+  for (const Particle &P : Particles) {
+    unsigned Leaves = 0;
+    for (const Node &N : P.Nodes)
+      if (N.Left < 0 && (N.Count > 0 || N.Parent >= 0 || P.Nodes.size() == 1))
+        ++Leaves;
+    Total += double(Leaves);
+  }
+  return Total / double(Particles.size());
+}
+
+double DynaTree::averageDepth() const {
+  double Total = 0.0;
+  for (const Particle &P : Particles) {
+    unsigned MaxDepth = 0;
+    for (const Node &N : P.Nodes)
+      if (N.Left < 0)
+        MaxDepth = std::max(MaxDepth, unsigned(N.Depth));
+    Total += double(MaxDepth);
+  }
+  return Total / double(Particles.size());
+}

@@ -1,0 +1,48 @@
+//===- exp/Dataset.cpp ----------------------------------------*- C++ -*-===//
+
+#include "exp/Dataset.h"
+
+#include "measure/NoiseModel.h"
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace alic;
+
+Dataset alic::buildDataset(const SpaptBenchmark &B, size_t NumConfigs,
+                           double TrainFraction, unsigned MeanObservations,
+                           uint64_t Seed) {
+  assert(TrainFraction > 0.0 && TrainFraction < 1.0 && "bad split fraction");
+  Rng R(hashCombine({Seed, 0xda7a5e7ull}));
+  const ParamSpace &Space = B.space();
+
+  std::vector<Config> All = Space.sampleDistinct(R, NumConfigs);
+  size_t NumTrain = size_t(double(All.size()) * TrainFraction);
+
+  Dataset D;
+  // Features are normalized over the full profiled sample (Section 4.5).
+  std::vector<std::vector<double>> RawFeatures;
+  RawFeatures.reserve(All.size());
+  for (const Config &C : All)
+    RawFeatures.push_back(Space.features(C));
+  D.Norm = Normalizer::fit(RawFeatures);
+
+  D.TrainPool.assign(All.begin(), All.begin() + NumTrain);
+  D.TestConfigs.assign(All.begin() + NumTrain, All.end());
+
+  // Test labels: observed means over MeanObservations noisy runs, using a
+  // measurement stream independent of any learner's profiler.
+  D.TestFeatures.reserve(D.TestConfigs.size());
+  D.TestMeans.reserve(D.TestConfigs.size());
+  for (const Config &C : D.TestConfigs) {
+    D.TestFeatures.push_back(D.Norm.transform(Space.features(C)));
+    double Mean = B.meanRuntimeSeconds(C);
+    double SigmaRel = noiseSigmaRel(B.noise(), Space, C);
+    uint64_t Stream = hashCombine({Seed, Space.key(C), 0x7e57ull});
+    double Sum = 0.0;
+    for (unsigned O = 0; O != MeanObservations; ++O)
+      Sum += drawMeasurement(B.noise(), Mean, SigmaRel, Stream, O);
+    D.TestMeans.push_back(Sum / double(MeanObservations));
+  }
+  return D;
+}

@@ -1,0 +1,49 @@
+//===- exp/Dataset.h - Per-benchmark training/test datasets ---*- C++ -*-===//
+//
+// Part of the ALIC project: a reproduction of "Minimizing the Cost of
+// Iterative Compilation with Active Learning" (Ogilvie et al., CGO 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 4.5 of the paper: profile NumConfigs distinct random
+/// configurations; each test configuration's label is its *observed* mean
+/// over 35 executions (not the noise-free model mean — exactly as a real
+/// harness would measure it); split into a training pool and a held-out
+/// test set; z-score the features.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIC_EXP_DATASET_H
+#define ALIC_EXP_DATASET_H
+
+#include "spapt/Benchmark.h"
+#include "tunable/Normalizer.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace alic {
+
+/// One benchmark's sampled dataset.
+struct Dataset {
+  std::vector<Config> TrainPool;               ///< configurations for AL
+  std::vector<Config> TestConfigs;             ///< held-out configurations
+  std::vector<std::vector<double>> TestFeatures; ///< normalized
+  std::vector<double> TestMeans;               ///< observed mean runtimes
+  Normalizer Norm;                             ///< fitted on all configs
+};
+
+/// Builds the dataset for \p B.
+///
+/// \param NumConfigs distinct configurations to profile.
+/// \param TrainFraction fraction marked available for training.
+/// \param MeanObservations executions averaged into each test label.
+/// \param Seed controls sampling and the virtual measurement streams.
+Dataset buildDataset(const SpaptBenchmark &B, size_t NumConfigs,
+                     double TrainFraction, unsigned MeanObservations,
+                     uint64_t Seed);
+
+} // namespace alic
+
+#endif // ALIC_EXP_DATASET_H

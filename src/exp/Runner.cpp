@@ -1,0 +1,181 @@
+//===- exp/Runner.cpp -----------------------------------------*- C++ -*-===//
+
+#include "exp/Runner.h"
+
+#include "dynatree/DynaTree.h"
+#include "gp/GaussianProcess.h"
+#include "stats/Metrics.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace alic;
+
+namespace {
+
+/// Oracle adapter that scales the benchmark's noise (the paper's
+/// future-work experiment: "artificially introducing noise into the
+/// system to see how robustly it performs in extreme cases").
+class ScaledNoiseOracle : public WorkloadOracle {
+public:
+  ScaledNoiseOracle(const SpaptBenchmark &B, double NoiseScale)
+      : B(B), Noise(B.noise()) {
+    Noise.BaseRelSigma *= NoiseScale;
+    Noise.BurstMeanRel *= NoiseScale;
+  }
+
+  const ParamSpace &space() const override { return B.space(); }
+  double meanRuntimeSeconds(const Config &C) const override {
+    return B.meanRuntimeSeconds(C);
+  }
+  double compileSeconds(const Config &C) const override {
+    return B.compileSeconds(C);
+  }
+  const NoiseProfile &noise() const override { return Noise; }
+
+private:
+  const SpaptBenchmark &B;
+  NoiseProfile Noise;
+};
+
+std::unique_ptr<SurrogateModel> makeModel(const RunOptions &Options,
+                                          const ExperimentScale &S,
+                                          uint64_t Seed) {
+  if (Options.Model == ModelKind::Gp) {
+    GpConfig G;
+    G.Seed = hashCombine({Seed, 0x6770ull});
+    return std::make_unique<GaussianProcess>(G);
+  }
+  DynaTreeConfig C;
+  C.NumParticles = S.Particles;
+  C.Seed = hashCombine({Seed, 0xd7ull});
+  return std::make_unique<DynaTree>(C);
+}
+
+} // namespace
+
+RunResult alic::runLearning(const SpaptBenchmark &B, const Dataset &D,
+                            SamplingPlan Plan, const ExperimentScale &S,
+                            uint64_t Seed, const RunOptions &Options) {
+  ScaledNoiseOracle Oracle(B, Options.NoiseScale);
+  std::unique_ptr<SurrogateModel> Model = makeModel(Options, S, Seed);
+
+  ActiveLearnerConfig Cfg;
+  Cfg.NumInitial = S.NumInitial;
+  Cfg.InitObservations = S.InitObservations;
+  Cfg.MaxTrainingExamples = S.MaxTrainingExamples;
+  Cfg.CandidatesPerIteration = S.CandidatesPerIteration;
+  Cfg.ReferenceSetSize = S.ReferenceSetSize;
+  Cfg.Scorer = Options.Scorer;
+  Cfg.BatchSize = Options.BatchSize;
+  Cfg.Seed = Seed;
+
+  ActiveLearner Learner(Oracle, *Model, D.Norm, D.TrainPool, Plan, Cfg);
+
+  // Fixed evaluation subset, identical across plans and seeds.
+  size_t NumEval = std::min(S.TestSubset, D.TestFeatures.size());
+  assert(NumEval > 0 && "empty test subset");
+
+  auto evalRmse = [&]() {
+    std::vector<double> Pred(NumEval), Actual(NumEval);
+    for (size_t I = 0; I != NumEval; ++I) {
+      Pred[I] = Model->predict(D.TestFeatures[I]).Mean;
+      Actual[I] = D.TestMeans[I];
+    }
+    return rootMeanSquaredError(Pred, Actual);
+  };
+
+  RunResult Result;
+  Learner.step(); // seeding phase
+  Result.Curve.push_back(
+      {0, Learner.cumulativeCostSeconds(), evalRmse()});
+
+  while (Learner.step()) {
+    size_t Iter = Learner.stats().Iterations;
+    if (Iter % S.EvalEvery == 0 || Learner.done())
+      Result.Curve.push_back(
+          {Iter, Learner.cumulativeCostSeconds(), evalRmse()});
+  }
+  if (Result.Curve.back().Iteration != Learner.stats().Iterations)
+    Result.Curve.push_back({Learner.stats().Iterations,
+                            Learner.cumulativeCostSeconds(), evalRmse()});
+
+  Result.Stats = Learner.stats();
+  Result.FinalRmse = Result.Curve.back().Rmse;
+  Result.TotalCostSeconds = Learner.cumulativeCostSeconds();
+  return Result;
+}
+
+RunResult alic::runAveraged(const SpaptBenchmark &B, const Dataset &D,
+                            SamplingPlan Plan, const ExperimentScale &S,
+                            uint64_t BaseSeed, const RunOptions &Options) {
+  assert(S.Repetitions >= 1 && "need at least one repetition");
+  std::vector<RunResult> Runs;
+  Runs.reserve(S.Repetitions);
+  for (unsigned Rep = 0; Rep != S.Repetitions; ++Rep)
+    Runs.push_back(runLearning(B, D, Plan, S,
+                               hashCombine({BaseSeed, uint64_t(Rep)}),
+                               Options));
+
+  // Average pointwise; runs share the iteration grid, so clip to the
+  // shortest curve (pool exhaustion can shorten a run).
+  size_t MinLen = Runs.front().Curve.size();
+  for (const RunResult &R : Runs)
+    MinLen = std::min(MinLen, R.Curve.size());
+
+  RunResult Avg;
+  Avg.Curve.resize(MinLen);
+  for (size_t P = 0; P != MinLen; ++P) {
+    CurvePoint &Out = Avg.Curve[P];
+    Out.Iteration = Runs.front().Curve[P].Iteration;
+    for (const RunResult &R : Runs) {
+      Out.CostSeconds += R.Curve[P].CostSeconds;
+      Out.Rmse += R.Curve[P].Rmse;
+    }
+    Out.CostSeconds /= double(Runs.size());
+    Out.Rmse /= double(Runs.size());
+  }
+  for (const RunResult &R : Runs) {
+    Avg.Stats.Iterations += R.Stats.Iterations;
+    Avg.Stats.DistinctExamples += R.Stats.DistinctExamples;
+    Avg.Stats.Revisits += R.Stats.Revisits;
+    Avg.Stats.Observations += R.Stats.Observations;
+    Avg.FinalRmse += R.FinalRmse;
+    Avg.TotalCostSeconds += R.TotalCostSeconds;
+  }
+  size_t N = Runs.size();
+  Avg.Stats.Iterations /= N;
+  Avg.Stats.DistinctExamples /= N;
+  Avg.Stats.Revisits /= N;
+  Avg.Stats.Observations /= N;
+  Avg.FinalRmse /= double(N);
+  Avg.TotalCostSeconds /= double(N);
+  return Avg;
+}
+
+PlanComparison alic::compareCurves(const RunResult &Baseline,
+                                   const RunResult &Ours) {
+  auto minRmse = [](const RunResult &R) {
+    double Min = R.Curve.front().Rmse;
+    for (const CurvePoint &P : R.Curve)
+      Min = std::min(Min, P.Rmse);
+    return Min;
+  };
+  PlanComparison Cmp;
+  Cmp.LowestCommonRmse = std::max(minRmse(Baseline), minRmse(Ours));
+  const double Eps = 1e-12;
+  auto firstCostReaching = [&](const RunResult &R) {
+    for (const CurvePoint &P : R.Curve)
+      if (P.Rmse <= Cmp.LowestCommonRmse + Eps)
+        return P.CostSeconds;
+    return R.Curve.back().CostSeconds;
+  };
+  Cmp.BaselineCostSeconds = firstCostReaching(Baseline);
+  Cmp.OursCostSeconds = firstCostReaching(Ours);
+  Cmp.Speedup = Cmp.OursCostSeconds > 0.0
+                    ? Cmp.BaselineCostSeconds / Cmp.OursCostSeconds
+                    : 0.0;
+  return Cmp;
+}

@@ -1,0 +1,81 @@
+//===- exp/Runner.h - Learning-curve experiment runner --------*- C++ -*-===//
+//
+// Part of the ALIC project: a reproduction of "Minimizing the Cost of
+// Iterative Compilation with Active Learning" (Ogilvie et al., CGO 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives ActiveLearner over a Dataset and records the evolution of the
+/// test-set RMSE (equation (1) of the paper) against cumulative virtual
+/// profiling cost — the curves of Figure 6 — plus the lowest-common-error
+/// speedup analysis behind Table 1 and Figure 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIC_EXP_RUNNER_H
+#define ALIC_EXP_RUNNER_H
+
+#include "core/ActiveLearner.h"
+#include "exp/Dataset.h"
+#include "exp/Scale.h"
+
+#include <string>
+#include <vector>
+
+namespace alic {
+
+/// Which surrogate drives the learner.
+enum class ModelKind { DynaTree, Gp };
+
+/// One point of a learning curve.
+struct CurvePoint {
+  size_t Iteration = 0;
+  double CostSeconds = 0.0;
+  double Rmse = 0.0;
+};
+
+/// A (possibly seed-averaged) learning curve.
+struct RunResult {
+  std::vector<CurvePoint> Curve;
+  LearnerStats Stats;
+  double FinalRmse = 0.0;
+  double TotalCostSeconds = 0.0;
+};
+
+/// Extra knobs for ablations.
+struct RunOptions {
+  ScorerKind Scorer = ScorerKind::Alc;
+  ModelKind Model = ModelKind::DynaTree;
+  unsigned BatchSize = 1;
+  /// Multiplies every drawn measurement's noise (future-work experiment);
+  /// 1.0 = the benchmark's calibrated noise.
+  double NoiseScale = 1.0;
+};
+
+/// Runs one learning experiment (single seed).
+RunResult runLearning(const SpaptBenchmark &B, const Dataset &D,
+                      SamplingPlan Plan, const ExperimentScale &S,
+                      uint64_t Seed, const RunOptions &Options = RunOptions());
+
+/// Runs \p S.Repetitions seeds and averages the curves pointwise.
+RunResult runAveraged(const SpaptBenchmark &B, const Dataset &D,
+                      SamplingPlan Plan, const ExperimentScale &S,
+                      uint64_t BaseSeed,
+                      const RunOptions &Options = RunOptions());
+
+/// Lowest-common-error comparison of two curves (Table 1 semantics): the
+/// error level is the worst of the two curves' best errors, and each cost
+/// is the first cumulative cost at which the curve reaches that level.
+struct PlanComparison {
+  double LowestCommonRmse = 0.0;
+  double BaselineCostSeconds = 0.0;
+  double OursCostSeconds = 0.0;
+  double Speedup = 0.0;
+};
+
+PlanComparison compareCurves(const RunResult &Baseline, const RunResult &Ours);
+
+} // namespace alic
+
+#endif // ALIC_EXP_RUNNER_H

@@ -1,0 +1,42 @@
+//===- exp/Scale.cpp ------------------------------------------*- C++ -*-===//
+
+#include "exp/Scale.h"
+
+using namespace alic;
+
+ExperimentScale ExperimentScale::preset(ScaleKind Kind) {
+  ExperimentScale S;
+  switch (Kind) {
+  case ScaleKind::Smoke:
+    S.NumConfigs = 600;
+    S.MaxTrainingExamples = 60;
+    S.CandidatesPerIteration = 40;
+    S.ReferenceSetSize = 50;
+    S.Particles = 60;
+    S.Repetitions = 1;
+    S.EvalEvery = 10;
+    S.TestSubset = 100;
+    break;
+  case ScaleKind::Bench:
+    S.NumConfigs = 2500;
+    S.MaxTrainingExamples = 400;
+    S.CandidatesPerIteration = 100;
+    S.ReferenceSetSize = 100;
+    S.Particles = 200;
+    S.Repetitions = 2;
+    S.EvalEvery = 10;
+    S.TestSubset = 300;
+    break;
+  case ScaleKind::Paper:
+    S.NumConfigs = 10000;
+    S.MaxTrainingExamples = 2500;
+    S.CandidatesPerIteration = 500;
+    S.ReferenceSetSize = 200;
+    S.Particles = 5000;
+    S.Repetitions = 10;
+    S.EvalEvery = 25;
+    S.TestSubset = 2500;
+    break;
+  }
+  return S;
+}

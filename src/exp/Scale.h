@@ -1,0 +1,54 @@
+//===- exp/Scale.h - Experiment scale presets ------------------*- C++ -*-===//
+//
+// Part of the ALIC project: a reproduction of "Minimizing the Cost of
+// Iterative Compilation with Active Learning" (Ogilvie et al., CGO 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bundled experiment parameters.  The paper's configuration (Sections
+/// 4.4-4.5) is the `paper` preset: 10,000 profiled configurations per
+/// benchmark (7,500 train / 2,500 test), ninit=5 seeds with 35
+/// observations, nmax=2,500, nc=500 candidates, N=5,000 particles, 10
+/// repetitions.  The default `bench` preset shrinks everything so the
+/// whole harness runs in minutes on one core; `smoke` is for CI.
+/// Select with ALIC_SCALE=smoke|bench|paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIC_EXP_SCALE_H
+#define ALIC_EXP_SCALE_H
+
+#include "support/Env.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace alic {
+
+/// All scale-dependent experiment parameters.
+struct ExperimentScale {
+  size_t NumConfigs = 3000;       ///< profiled configurations per benchmark
+  double TrainFraction = 0.75;    ///< train/test split (paper: 7500/2500)
+  unsigned MeanObservations = 35; ///< runs behind each test-set mean
+  unsigned NumInitial = 5;        ///< ninit
+  unsigned InitObservations = 35; ///< seed observations
+  unsigned MaxTrainingExamples = 500; ///< nmax
+  unsigned CandidatesPerIteration = 120; ///< nc
+  unsigned ReferenceSetSize = 100;
+  unsigned Particles = 250;
+  unsigned Repetitions = 3;
+  unsigned EvalEvery = 10;        ///< iterations between test-set RMSE evals
+  size_t TestSubset = 400;        ///< test points used per evaluation
+  unsigned ObservationCap = 35;   ///< nobs cap for the sequential plan
+
+  /// Returns the preset for \p Kind.
+  static ExperimentScale preset(ScaleKind Kind);
+
+  /// Preset selected by the ALIC_SCALE environment variable.
+  static ExperimentScale fromEnv() { return preset(getScaleKind()); }
+};
+
+} // namespace alic
+
+#endif // ALIC_EXP_SCALE_H

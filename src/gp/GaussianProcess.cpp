@@ -1,0 +1,146 @@
+//===- gp/GaussianProcess.cpp ---------------------------------*- C++ -*-===//
+
+#include "gp/GaussianProcess.h"
+
+#include "support/Error.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace alic;
+
+GaussianProcess::GaussianProcess(GpConfig Config)
+    : Config(Config), Params(Config.Init) {}
+
+double GaussianProcess::kernel(const std::vector<double> &A,
+                               const std::vector<double> &B) const {
+  double D2 = squaredDistance(A, B);
+  return Params.SignalVariance *
+         std::exp(-0.5 * D2 / (Params.LengthScale * Params.LengthScale));
+}
+
+double GaussianProcess::refitWith(const GpHyperParams &P) {
+  Params = P;
+  size_t N = DataX.size();
+  Matrix K(N, N);
+  for (size_t I = 0; I != N; ++I) {
+    for (size_t J = 0; J <= I; ++J) {
+      double V = kernel(DataX[I], DataX[J]);
+      K.at(I, J) = V;
+      K.at(J, I) = V;
+    }
+    K.at(I, I) += Params.NoiseVariance + 1e-10;
+  }
+  Factor = Cholesky::factorize(K);
+  if (!Factor)
+    return -1e300; // not PD under these hyperparameters
+  std::vector<double> Centered(N);
+  for (size_t I = 0; I != N; ++I)
+    Centered[I] = DataY[I] - MeanY;
+  Alpha = Factor->solve(Centered);
+  double Fit = 0.0;
+  for (size_t I = 0; I != N; ++I)
+    Fit += Centered[I] * Alpha[I];
+  LogMl = -0.5 * Fit - 0.5 * Factor->logDeterminant() -
+          0.5 * double(N) * std::log(2.0 * M_PI);
+  return LogMl;
+}
+
+void GaussianProcess::refit() { refitWith(Params); }
+
+void GaussianProcess::fit(const std::vector<std::vector<double>> &X,
+                          const std::vector<double> &Y) {
+  assert(X.size() == Y.size() && !X.empty() && "bad training batch");
+  DataX = X;
+  DataY = Y;
+  double Sum = 0.0;
+  for (double Yi : Y)
+    Sum += Yi;
+  MeanY = Sum / double(Y.size());
+
+  if (!Config.OptimizeHyperParams) {
+    refitWith(Params);
+    return;
+  }
+
+  // Random-restart search over (signal, length, noise) maximizing the log
+  // marginal likelihood.  Scales are data-driven.
+  double Var = 0.0;
+  for (double Yi : Y)
+    Var += (Yi - MeanY) * (Yi - MeanY);
+  Var = std::max(Var / double(Y.size()), 1e-12);
+
+  Rng R(Config.Seed);
+  GpHyperParams Best = Params;
+  double BestMl = -1e300;
+  for (unsigned Trial = 0; Trial != Config.OptimizerRestarts; ++Trial) {
+    GpHyperParams P;
+    P.SignalVariance = Var * std::exp(R.nextUniform(-1.5, 1.5));
+    P.LengthScale = std::exp(R.nextUniform(-1.5, 2.0));
+    P.NoiseVariance = Var * std::exp(R.nextUniform(-9.0, -0.5));
+    double Ml = refitWith(P);
+    if (Ml > BestMl) {
+      BestMl = Ml;
+      Best = P;
+    }
+  }
+  refitWith(Best);
+}
+
+void GaussianProcess::update(const std::vector<double> &X, double Y) {
+  DataX.push_back(X);
+  DataY.push_back(Y);
+  if (Config.RefitOnUpdate)
+    refitWith(Params); // the O(n^3) cost the paper's Section 3.2 dislikes
+}
+
+Prediction GaussianProcess::predict(const std::vector<double> &X) const {
+  assert(Factor && "GP not fitted");
+  size_t N = DataX.size();
+  std::vector<double> Ks(N);
+  for (size_t I = 0; I != N; ++I)
+    Ks[I] = kernel(X, DataX[I]);
+  Prediction Out;
+  Out.Mean = MeanY;
+  for (size_t I = 0; I != N; ++I)
+    Out.Mean += Ks[I] * Alpha[I];
+  std::vector<double> V = Factor->solveLower(Ks);
+  double Reduction = 0.0;
+  for (double Vi : V)
+    Reduction += Vi * Vi;
+  Out.Variance =
+      std::max(0.0, Params.SignalVariance - Reduction) + Params.NoiseVariance;
+  return Out;
+}
+
+std::vector<double> GaussianProcess::alcScores(
+    const std::vector<std::vector<double>> &Candidates,
+    const std::vector<std::vector<double>> &Reference) const {
+  assert(Factor && "GP not fitted");
+  // Exact GP ALC: adding candidate x reduces Var(ref r) by
+  //   cov(r, x | data)^2 / (var(x | data) + noise).
+  size_t N = DataX.size();
+  std::vector<double> Scores(Candidates.size(), 0.0);
+  for (size_t C = 0; C != Candidates.size(); ++C) {
+    const auto &X = Candidates[C];
+    std::vector<double> Kx(N);
+    for (size_t I = 0; I != N; ++I)
+      Kx[I] = kernel(X, DataX[I]);
+    std::vector<double> Wx = Factor->solve(Kx);
+    double VarX = Params.SignalVariance;
+    for (size_t I = 0; I != N; ++I)
+      VarX -= Kx[I] * Wx[I];
+    VarX = std::max(VarX, 1e-12) + Params.NoiseVariance;
+    double Total = 0.0;
+    for (const auto &Ref : Reference) {
+      double Krx = kernel(Ref, X);
+      double Cov = Krx;
+      for (size_t I = 0; I != N; ++I)
+        Cov -= kernel(Ref, DataX[I]) * Wx[I];
+      Total += Cov * Cov / VarX;
+    }
+    Scores[C] = Total;
+  }
+  return Scores;
+}

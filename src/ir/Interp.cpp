@@ -1,0 +1,96 @@
+//===- ir/Interp.cpp ------------------------------------------*- C++ -*-===//
+
+#include "ir/Interp.h"
+
+#include "support/Error.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace alic;
+
+double alic::initialArrayValue(unsigned ArrayId, size_t Linear) {
+  uint64_t H = hashCombine({0xa1ecull, ArrayId, static_cast<uint64_t>(Linear)});
+  // Map to (0, 1]; keep away from zero so products stay informative.
+  return 0.5 + 0.5 * (static_cast<double>(H >> 11) * 0x1.0p-53);
+}
+
+Interpreter::Interpreter(const Kernel &K) : K(K) {
+  Storage.resize(K.numArrays());
+  for (unsigned Id = 0; Id != K.numArrays(); ++Id) {
+    size_t N = static_cast<size_t>(K.array(Id).numElements());
+    Storage[Id].resize(N);
+    for (size_t I = 0; I != N; ++I)
+      Storage[Id][I] = initialArrayValue(Id, I);
+  }
+  Env.assign(K.numLoopVars(), 0);
+}
+
+InterpResult Interpreter::run() {
+  Result = InterpResult();
+  execList(K.topLevel());
+  // Order-sensitive digest over every array element.
+  double Sum = 0.0;
+  for (unsigned Id = 0; Id != Storage.size(); ++Id)
+    for (size_t I = 0; I != Storage[Id].size(); ++I)
+      Sum += Storage[Id][I] * std::cos(double((Id + 1) * 31 + I % 1024));
+  Result.Checksum = Sum;
+  return Result;
+}
+
+size_t Interpreter::flattenIndex(const ArrayAccess &Access) const {
+  const IrArrayDecl &Decl = K.array(Access.ArrayId);
+  size_t Linear = 0;
+  for (size_t D = 0; D != Decl.Dims.size(); ++D) {
+    int64_t Idx = Access.Subscripts[D].evaluate(Env);
+    assert(Idx >= 0 && Idx < Decl.Dims[D] && "array subscript out of bounds");
+    Linear = Linear * static_cast<size_t>(Decl.Dims[D]) +
+             static_cast<size_t>(Idx);
+  }
+  return Linear;
+}
+
+double Interpreter::readAccess(const ArrayAccess &Access) const {
+  return Storage[Access.ArrayId][flattenIndex(Access)];
+}
+
+void Interpreter::execStmt(const StmtNode &Stmt) {
+  double Value;
+  if (Stmt.Rhs == RhsKind::Sum) {
+    Value = Stmt.Bias;
+    for (const ReadTerm &Term : Stmt.Reads)
+      Value += Term.Coeff * readAccess(Term.Access);
+  } else {
+    Value = Stmt.Scale;
+    for (const ReadTerm &Term : Stmt.Reads)
+      Value *= readAccess(Term.Access);
+    Value += Stmt.Bias;
+  }
+  double &Slot = Storage[Stmt.Write.ArrayId][flattenIndex(Stmt.Write)];
+  if (Stmt.Accumulate)
+    Slot += Value;
+  else
+    Slot = Value;
+  ++Result.StmtInstances;
+}
+
+void Interpreter::execList(const std::vector<std::unique_ptr<IrNode>> &Nodes) {
+  for (const auto &Node : Nodes) {
+    if (const auto *Stmt = nodeDynCast<StmtNode>(Node.get())) {
+      execStmt(*Stmt);
+      continue;
+    }
+    const auto *Loop = nodeDynCast<LoopNode>(Node.get());
+    int64_t Lo = Loop->Lower.evaluate(Env);
+    int64_t Hi = Loop->Uppers.front().evaluate(Env);
+    for (size_t I = 1; I != Loop->Uppers.size(); ++I)
+      Hi = std::min(Hi, Loop->Uppers[I].evaluate(Env));
+    for (int64_t V = Lo; V < Hi; V += Loop->Step) {
+      Env[Loop->Var] = V;
+      ++Result.LoopIterations;
+      execList(Loop->Body);
+    }
+  }
+}

@@ -1,0 +1,67 @@
+//===- ir/Interp.h - Reference interpreter for the kernel IR --*- C++ -*-===//
+//
+// Part of the ALIC project: a reproduction of "Minimizing the Cost of
+// Iterative Compilation with Active Learning" (Ogilvie et al., CGO 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a Kernel on concrete arrays with deterministic initial
+/// contents.  The interpreter is the ground truth for transformation
+/// correctness: a legal unroll/tile/register-tile must leave the final
+/// array contents bit-identical (the replicated statements are evaluated
+/// in the same order the original loop would have).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIC_IR_INTERP_H
+#define ALIC_IR_INTERP_H
+
+#include "ir/Kernel.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace alic {
+
+/// Result of interpreting a kernel.
+struct InterpResult {
+  /// Order-sensitive digest of all array contents after execution.
+  double Checksum = 0.0;
+  /// Number of statement instances executed.
+  uint64_t StmtInstances = 0;
+  /// Number of loop-iteration events (all loops, all levels).
+  uint64_t LoopIterations = 0;
+};
+
+/// Reference interpreter.
+class Interpreter {
+public:
+  explicit Interpreter(const Kernel &K);
+
+  /// Runs the kernel to completion and returns the digest.
+  InterpResult run();
+
+  /// Read-only view of an array's final contents (valid after run()).
+  const std::vector<double> &array(unsigned Id) const { return Storage[Id]; }
+
+private:
+  void execList(const std::vector<std::unique_ptr<IrNode>> &Nodes);
+  void execStmt(const StmtNode &Stmt);
+  double readAccess(const ArrayAccess &Access) const;
+  size_t flattenIndex(const ArrayAccess &Access) const;
+
+  const Kernel &K;
+  std::vector<std::vector<double>> Storage;
+  std::vector<int64_t> Env;
+  InterpResult Result;
+};
+
+/// Deterministic initial value of element \p Linear of array \p ArrayId.
+/// Shared by every interpretation so original and transformed kernels see
+/// identical inputs.
+double initialArrayValue(unsigned ArrayId, size_t Linear);
+
+} // namespace alic
+
+#endif // ALIC_IR_INTERP_H

@@ -1,0 +1,66 @@
+//===- linalg/Cholesky.cpp ------------------------------------*- C++ -*-===//
+
+#include "linalg/Cholesky.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace alic;
+
+std::optional<Cholesky> Cholesky::factorize(const Matrix &A) {
+  assert(A.rows() == A.cols() && "Cholesky needs a square matrix");
+  size_t N = A.rows();
+  Matrix L(N, N, 0.0);
+  for (size_t J = 0; J != N; ++J) {
+    double Diag = A.at(J, J);
+    for (size_t K = 0; K != J; ++K)
+      Diag -= L.at(J, K) * L.at(J, K);
+    if (Diag <= 0.0 || !std::isfinite(Diag))
+      return std::nullopt;
+    double Ljj = std::sqrt(Diag);
+    L.at(J, J) = Ljj;
+    for (size_t I = J + 1; I != N; ++I) {
+      double Sum = A.at(I, J);
+      for (size_t K = 0; K != J; ++K)
+        Sum -= L.at(I, K) * L.at(J, K);
+      L.at(I, J) = Sum / Ljj;
+    }
+  }
+  return Cholesky(std::move(L));
+}
+
+std::vector<double> Cholesky::solveLower(const std::vector<double> &B) const {
+  size_t N = L.rows();
+  assert(B.size() == N && "rhs size mismatch");
+  std::vector<double> Y(N);
+  for (size_t I = 0; I != N; ++I) {
+    double Sum = B[I];
+    for (size_t K = 0; K != I; ++K)
+      Sum -= L.at(I, K) * Y[K];
+    Y[I] = Sum / L.at(I, I);
+  }
+  return Y;
+}
+
+std::vector<double> Cholesky::solve(const std::vector<double> &B) const {
+  size_t N = L.rows();
+  std::vector<double> Y = solveLower(B);
+  // Back substitution with L^T.
+  std::vector<double> X(N);
+  for (size_t I = N; I-- > 0;) {
+    double Sum = Y[I];
+    for (size_t K = I + 1; K != N; ++K)
+      Sum -= L.at(K, I) * X[K];
+    X[I] = Sum / L.at(I, I);
+  }
+  return X;
+}
+
+double Cholesky::logDeterminant() const {
+  double Sum = 0.0;
+  for (size_t I = 0; I != L.rows(); ++I)
+    Sum += std::log(L.at(I, I));
+  return 2.0 * Sum;
+}

@@ -1,0 +1,51 @@
+//===- linalg/Cholesky.h - Cholesky factorization --------------*- C++ -*-===//
+//
+// Part of the ALIC project: a reproduction of "Minimizing the Cost of
+// Iterative Compilation with Active Learning" (Ogilvie et al., CGO 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cholesky factorization and solves for symmetric positive-definite
+/// systems — the O(n^3) kernel inside exact GP inference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIC_LINALG_CHOLESKY_H
+#define ALIC_LINALG_CHOLESKY_H
+
+#include "linalg/Matrix.h"
+
+#include <optional>
+#include <vector>
+
+namespace alic {
+
+/// Lower-triangular Cholesky factor L with A = L L^T.
+class Cholesky {
+public:
+  /// Factorizes symmetric positive-definite \p A.  Returns std::nullopt if
+  /// \p A is not (numerically) positive definite.
+  static std::optional<Cholesky> factorize(const Matrix &A);
+
+  /// Solves A x = \p B via the factor.
+  std::vector<double> solve(const std::vector<double> &B) const;
+
+  /// Solves L y = \p B (forward substitution).
+  std::vector<double> solveLower(const std::vector<double> &B) const;
+
+  /// log(det A) = 2 * sum(log diag L).
+  double logDeterminant() const;
+
+  /// The lower-triangular factor.
+  const Matrix &factor() const { return L; }
+
+private:
+  explicit Cholesky(Matrix L) : L(std::move(L)) {}
+
+  Matrix L;
+};
+
+} // namespace alic
+
+#endif // ALIC_LINALG_CHOLESKY_H

@@ -1,0 +1,90 @@
+//===- machine/MachineDesc.h - Target machine description -----*- C++ -*-===//
+//
+// Part of the ALIC project: a reproduction of "Minimizing the Cost of
+// Iterative Compilation with Active Learning" (Ogilvie et al., CGO 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameters of the modeled machine.  Defaults approximate the paper's
+/// testbed, an Intel Core i7-4770K (Haswell, 3.4 GHz, 32 KB L1D / 256 KB
+/// L2 / 8 MB L3) running gcc -O2 generated scalar code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIC_MACHINE_MACHINEDESC_H
+#define ALIC_MACHINE_MACHINEDESC_H
+
+#include <cstddef>
+#include <vector>
+
+namespace alic {
+
+/// One cache level: capacity and load-to-use latency.
+struct CacheLevel {
+  double SizeBytes = 0.0;
+  double LatencyCycles = 0.0;
+};
+
+/// Microarchitectural parameters consumed by the cost model.
+struct MachineDesc {
+  /// Core frequency in GHz.
+  double FrequencyGHz = 3.4;
+
+  /// Sustained floating-point operations per cycle (scalar -O2 code).
+  double FlopsPerCycle = 2.0;
+
+  /// Latency of a dependent FP add (limits unparallelized reductions).
+  double FpDependencyLatency = 3.0;
+
+  /// Latency of an FP divide (dominates recurrence chains that contain
+  /// one, e.g. ADI sweeps and LU pivot scaling).
+  double FpDivideLatency = 14.0;
+
+  /// Architected FP registers available for accumulators/temporaries.
+  int NumFpRegisters = 16;
+
+  /// Extra cycles per innermost iteration per register beyond capacity.
+  double SpillCyclesPerExcessReg = 1.0;
+
+  /// Loop-control cycles charged per executed loop iteration (branch,
+  /// increment, compare).
+  double LoopOverheadCycles = 2.0;
+
+  /// Cache line size in bytes.
+  double LineBytes = 64.0;
+
+  /// Cache hierarchy, ordered L1 -> last level.
+  std::vector<CacheLevel> Caches = {
+      {32.0 * 1024, 4.0}, {256.0 * 1024, 12.0}, {8.0 * 1024 * 1024, 36.0}};
+
+  /// Main-memory latency in cycles.
+  double MemoryLatencyCycles = 210.0;
+
+  /// Maximum overlapping outstanding misses (memory-level parallelism).
+  double MaxMlp = 4.0;
+
+  /// Statements after unroll expansion that fit the uop cache / L1I
+  /// without penalty.
+  double ICacheStmtCapacity = 192.0;
+
+  /// Saturating slowdown factor once the unrolled body overflows the
+  /// instruction cache (front-end bound): factor tends to 1 + this value.
+  double ICachePenaltyMax = 0.6;
+
+  /// Effective cache capacity fraction (conflict misses, shared data).
+  double CacheUtilization = 0.7;
+
+  /// Compile-time model: Base + PerStmt * codeStmts^Exp + PerLoop * loops.
+  double CompileBaseSeconds = 0.08;
+  double CompilePerStmtSeconds = 1.6e-3;
+  double CompileStmtExponent = 0.92;
+  double CompilePerLoopSeconds = 4.0e-4;
+
+  /// Returns the default machine (paper testbed approximation).
+  static MachineDesc i7Haswell() { return MachineDesc(); }
+};
+
+} // namespace alic
+
+#endif // ALIC_MACHINE_MACHINEDESC_H

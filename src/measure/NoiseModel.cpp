@@ -1,0 +1,78 @@
+//===- measure/NoiseModel.cpp ---------------------------------*- C++ -*-===//
+
+#include "measure/NoiseModel.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace alic;
+
+/// Hash-based control value in [0,1] for cell \p Cell of dimension \p Dim.
+static double controlValue(uint64_t Seed, uint64_t Dim, int64_t Cell) {
+  uint64_t H = hashCombine({Seed, Dim, static_cast<uint64_t>(Cell)});
+  return static_cast<double>(H >> 11) * 0x1.0p-53;
+}
+
+double alic::noiseRegionField(const NoiseProfile &Profile,
+                              const ParamSpace &Space, const Config &C) {
+  assert(C.size() == Space.numParams() && "config arity mismatch");
+  // Per-dimension piecewise-linear value noise on a coarse ordinal grid,
+  // blended with hash-derived weights.  Smooth in every ordinal.
+  double Weighted = 0.0;
+  double WeightSum = 0.0;
+  for (size_t D = 0; D != C.size(); ++D) {
+    size_t NumValues = Space.param(D).numValues();
+    if (NumValues < 2)
+      continue;
+    // Grid coarseness ~ an eighth of the axis, at least 2 cells.
+    double CellSize = std::max(2.0, double(NumValues) / 8.0);
+    double Pos = double(C[D]) / CellSize;
+    int64_t Cell = static_cast<int64_t>(std::floor(Pos));
+    double Frac = Pos - double(Cell);
+    double V0 = controlValue(Profile.FieldSeed, D, Cell);
+    double V1 = controlValue(Profile.FieldSeed, D, Cell + 1);
+    // Cosine interpolation keeps the field C1-smooth.
+    double Smooth = 0.5 - 0.5 * std::cos(Frac * M_PI);
+    double Value = V0 * (1.0 - Smooth) + V1 * Smooth;
+    double Weight =
+        0.5 + controlValue(Profile.FieldSeed ^ 0xabcdu, D, -7);
+    Weighted += Weight * Value;
+    WeightSum += Weight;
+  }
+  if (WeightSum == 0.0)
+    return 0.5;
+  return Weighted / WeightSum;
+}
+
+double alic::noiseSigmaRel(const NoiseProfile &Profile,
+                           const ParamSpace &Space, const Config &C) {
+  double Field = noiseRegionField(Profile, Space, C);
+  // The field is an average of uniforms, concentrated around 0.5; map the
+  // top RegionFraction-ish quantile into the amplified regime with a
+  // smooth ramp.
+  double Threshold = 0.5 + 0.35 * (1.0 - 2.0 * Profile.RegionFraction);
+  double RampWidth = 0.08;
+  double T = (Field - (Threshold - RampWidth)) / (2.0 * RampWidth);
+  T = std::clamp(T, 0.0, 1.0);
+  double Smooth = T * T * (3.0 - 2.0 * T); // smoothstep
+  double Amp = 1.0 + (Profile.RegionAmplification - 1.0) * Smooth;
+  return Profile.BaseRelSigma * Amp;
+}
+
+double alic::drawMeasurement(const NoiseProfile &Profile, double MeanSeconds,
+                             double SigmaRel, uint64_t StreamSeed,
+                             uint64_t SampleIndex) {
+  assert(MeanSeconds > 0.0 && "mean runtime must be positive");
+  Rng R(hashCombine({StreamSeed, SampleIndex, 0x6e6f697365ull}));
+  // Multiplicative Gaussian jitter around the mean ...
+  double Value = MeanSeconds * (1.0 + SigmaRel * R.nextGaussian());
+  // ... plus occasional heavy-tailed interference bursts.
+  if (R.nextBernoulli(Profile.BurstProbability))
+    Value += MeanSeconds * R.nextExponential(Profile.BurstMeanRel);
+  // A run can be jittered but never faster than the code allows.
+  double Floor = MeanSeconds * std::max(0.05, 1.0 - 4.0 * SigmaRel);
+  return std::max(Value, Floor);
+}

@@ -1,0 +1,53 @@
+//===- model/KnnModel.cpp -------------------------------------*- C++ -*-===//
+
+#include "model/KnnModel.h"
+
+#include "linalg/Matrix.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace alic;
+
+void KnnModel::fit(const std::vector<std::vector<double>> &X,
+                   const std::vector<double> &Y) {
+  assert(X.size() == Y.size() && "bad training batch");
+  DataX = X;
+  DataY = Y;
+}
+
+void KnnModel::update(const std::vector<double> &X, double Y) {
+  DataX.push_back(X);
+  DataY.push_back(Y);
+}
+
+Prediction KnnModel::predict(const std::vector<double> &X) const {
+  assert(!DataX.empty() && "k-NN model has no data");
+  // Collect the K nearest points (partial selection on squared distance).
+  size_t N = DataX.size();
+  size_t Take = std::min<size_t>(K, N);
+  std::vector<std::pair<double, size_t>> Dist(N);
+  for (size_t I = 0; I != N; ++I)
+    Dist[I] = {squaredDistance(X, DataX[I]), I};
+  std::partial_sort(Dist.begin(), Dist.begin() + long(Take), Dist.end());
+
+  double WeightSum = 0.0, Mean = 0.0;
+  for (size_t I = 0; I != Take; ++I) {
+    double W = 1.0 / (Dist[I].first + Epsilon);
+    WeightSum += W;
+    Mean += W * DataY[Dist[I].second];
+  }
+  Mean /= WeightSum;
+
+  // Weighted spread of neighbour values as the uncertainty proxy.
+  double Var = 0.0;
+  for (size_t I = 0; I != Take; ++I) {
+    double W = 1.0 / (Dist[I].first + Epsilon);
+    double D = DataY[Dist[I].second] - Mean;
+    Var += W * D * D;
+  }
+  Var /= WeightSum;
+  return {Mean, Var};
+}

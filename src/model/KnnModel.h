@@ -1,0 +1,47 @@
+//===- model/KnnModel.h - k-nearest-neighbour baseline --------*- C++ -*-===//
+//
+// Part of the ALIC project: a reproduction of "Minimizing the Cost of
+// Iterative Compilation with Active Learning" (Ogilvie et al., CGO 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A distance-weighted k-nearest-neighbour regressor.  Classic iterative-
+/// compilation work (Agakov et al. [2] and successors) leans on exactly
+/// this family of models; it serves here as a cheap non-Bayesian
+/// comparator for the surrogate interface.  Its "variance" is the local
+/// weighted spread of the neighbours' values — honest enough for ALM-style
+/// scoring, with none of the dynamic tree's calibration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIC_MODEL_KNNMODEL_H
+#define ALIC_MODEL_KNNMODEL_H
+
+#include "model/SurrogateModel.h"
+
+namespace alic {
+
+/// k-NN regression surrogate.
+class KnnModel : public SurrogateModel {
+public:
+  /// \p K neighbours; \p Epsilon regularizes inverse-distance weights.
+  explicit KnnModel(unsigned K = 5, double Epsilon = 1e-6)
+      : K(K), Epsilon(Epsilon) {}
+
+  void fit(const std::vector<std::vector<double>> &X,
+           const std::vector<double> &Y) override;
+  void update(const std::vector<double> &X, double Y) override;
+  Prediction predict(const std::vector<double> &X) const override;
+  size_t numObservations() const override { return DataX.size(); }
+
+private:
+  unsigned K;
+  double Epsilon;
+  std::vector<std::vector<double>> DataX;
+  std::vector<double> DataY;
+};
+
+} // namespace alic
+
+#endif // ALIC_MODEL_KNNMODEL_H

@@ -1,0 +1,24 @@
+//===- model/SurrogateModel.cpp -------------------------------*- C++ -*-===//
+
+#include "model/SurrogateModel.h"
+
+using namespace alic;
+
+SurrogateModel::~SurrogateModel() = default;
+
+std::vector<double> SurrogateModel::almScores(
+    const std::vector<std::vector<double>> &Candidates) const {
+  std::vector<double> Scores;
+  Scores.reserve(Candidates.size());
+  for (const auto &X : Candidates)
+    Scores.push_back(predict(X).Variance);
+  return Scores;
+}
+
+std::vector<double> SurrogateModel::alcScores(
+    const std::vector<std::vector<double>> &Candidates,
+    const std::vector<std::vector<double>> &Reference) const {
+  // Fallback: models without a closed-form ALC reduce to ALM.
+  (void)Reference;
+  return almScores(Candidates);
+}

@@ -1,0 +1,66 @@
+//===- model/SurrogateModel.h - Regression-surrogate interface -*- C++ -*-===//
+//
+// Part of the ALIC project: a reproduction of "Minimizing the Cost of
+// Iterative Compilation with Active Learning" (Ogilvie et al., CGO 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface the active learner drives.  A surrogate maps feature
+/// vectors (normalized configurations) to a predictive mean and variance,
+/// supports cheap incremental updates (the dynamic tree's raison d'être),
+/// and scores candidate points by expected information gain:
+///
+///  * ALM (MacKay [34]): the candidate's own predictive variance;
+///  * ALC (Cohn [13]):   the expected reduction in average predictive
+///                       variance over a reference set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIC_MODEL_SURROGATEMODEL_H
+#define ALIC_MODEL_SURROGATEMODEL_H
+
+#include <memory>
+#include <vector>
+
+namespace alic {
+
+/// Predictive distribution summary at one point.
+struct Prediction {
+  double Mean = 0.0;
+  double Variance = 0.0;
+};
+
+/// Interface of all runtime-prediction surrogates.
+class SurrogateModel {
+public:
+  virtual ~SurrogateModel();
+
+  /// Resets the model and trains on a batch.
+  virtual void fit(const std::vector<std::vector<double>> &X,
+                   const std::vector<double> &Y) = 0;
+
+  /// Incorporates one observation.
+  virtual void update(const std::vector<double> &X, double Y) = 0;
+
+  /// Predictive mean and variance at \p X.
+  virtual Prediction predict(const std::vector<double> &X) const = 0;
+
+  /// ALM scores: predictive variance per candidate (higher = more useful).
+  virtual std::vector<double>
+  almScores(const std::vector<std::vector<double>> &Candidates) const;
+
+  /// ALC scores: expected reduction of summed predictive variance over
+  /// \p Reference if the candidate were observed (higher = more useful).
+  /// The default implementation falls back to ALM.
+  virtual std::vector<double>
+  alcScores(const std::vector<std::vector<double>> &Candidates,
+            const std::vector<std::vector<double>> &Reference) const;
+
+  /// Number of observations absorbed so far.
+  virtual size_t numObservations() const = 0;
+};
+
+} // namespace alic
+
+#endif // ALIC_MODEL_SURROGATEMODEL_H

@@ -1,0 +1,38 @@
+//===- spapt/Suite.h - Registry of the eleven benchmarks ------*- C++ -*-===//
+//
+// Part of the ALIC project: a reproduction of "Minimizing the Cost of
+// Iterative Compilation with Active Learning" (Ogilvie et al., CGO 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Factory for the paper's eleven SPAPT search problems at their full
+/// problem sizes, with per-benchmark noise profiles calibrated against the
+/// spread reported in Table 2 (quiet suites like lu/mvt/mm, extremely
+/// noisy ones like correlation, broad noisy regions for adi).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIC_SPAPT_SUITE_H
+#define ALIC_SPAPT_SUITE_H
+
+#include "spapt/Benchmark.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alic {
+
+/// Names of the eleven benchmarks, in the paper's Table 1 order.
+const std::vector<std::string> &spaptBenchmarkNames();
+
+/// Instantiates one benchmark by name; aborts on unknown names.
+std::unique_ptr<SpaptBenchmark> createSpaptBenchmark(const std::string &Name);
+
+/// Instantiates the whole suite in Table 1 order.
+std::vector<std::unique_ptr<SpaptBenchmark>> createSpaptSuite();
+
+} // namespace alic
+
+#endif // ALIC_SPAPT_SUITE_H

@@ -1,0 +1,84 @@
+//===- stats/Metrics.cpp --------------------------------------*- C++ -*-===//
+
+#include "stats/Metrics.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace alic;
+
+double alic::rootMeanSquaredError(const std::vector<double> &Predicted,
+                                  const std::vector<double> &Actual) {
+  assert(Predicted.size() == Actual.size() && !Actual.empty() &&
+         "RMSE needs equally sized, non-empty vectors");
+  double Sum = 0.0;
+  for (size_t I = 0; I != Actual.size(); ++I) {
+    double Diff = Predicted[I] - Actual[I];
+    Sum += Diff * Diff;
+  }
+  return std::sqrt(Sum / double(Actual.size()));
+}
+
+double alic::meanAbsoluteError(const std::vector<double> &Predicted,
+                               const std::vector<double> &Actual) {
+  assert(Predicted.size() == Actual.size() && !Actual.empty() &&
+         "MAE needs equally sized, non-empty vectors");
+  double Sum = 0.0;
+  for (size_t I = 0; I != Actual.size(); ++I)
+    Sum += std::fabs(Predicted[I] - Actual[I]);
+  return Sum / double(Actual.size());
+}
+
+double alic::rSquared(const std::vector<double> &Predicted,
+                      const std::vector<double> &Actual) {
+  assert(Predicted.size() == Actual.size() && !Actual.empty() &&
+         "R^2 needs equally sized, non-empty vectors");
+  double Mean = arithmeticMean(Actual);
+  double Sse = 0.0;
+  double Sst = 0.0;
+  for (size_t I = 0; I != Actual.size(); ++I) {
+    double E = Predicted[I] - Actual[I];
+    double D = Actual[I] - Mean;
+    Sse += E * E;
+    Sst += D * D;
+  }
+  if (Sst == 0.0)
+    return Sse == 0.0 ? 1.0 : 0.0;
+  return 1.0 - Sse / Sst;
+}
+
+double alic::geometricMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geometric mean needs positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / double(Values.size()));
+}
+
+double alic::arithmeticMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / double(Values.size());
+}
+
+double alic::quantile(std::vector<double> Values, double Q) {
+  assert(!Values.empty() && "quantile of empty sample");
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile order must be in [0,1]");
+  std::sort(Values.begin(), Values.end());
+  if (Values.size() == 1)
+    return Values.front();
+  double Pos = Q * double(Values.size() - 1);
+  size_t Lo = static_cast<size_t>(Pos);
+  size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  double Frac = Pos - double(Lo);
+  return Values[Lo] * (1.0 - Frac) + Values[Hi] * Frac;
+}

@@ -1,0 +1,45 @@
+//===- stats/Metrics.h - Model accuracy metrics ----------------*- C++ -*-===//
+//
+// Part of the ALIC project: a reproduction of "Minimizing the Cost of
+// Iterative Compilation with Active Learning" (Ogilvie et al., CGO 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prediction-error metrics.  The paper's headline accuracy metric is the
+/// Root Mean Squared Error of predicted vs. observed mean runtimes
+/// (equation (1)); the motivation section uses Mean Absolute Error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIC_STATS_METRICS_H
+#define ALIC_STATS_METRICS_H
+
+#include <vector>
+
+namespace alic {
+
+/// Root mean squared error between \p Predicted and \p Actual.
+double rootMeanSquaredError(const std::vector<double> &Predicted,
+                            const std::vector<double> &Actual);
+
+/// Mean absolute error between \p Predicted and \p Actual.
+double meanAbsoluteError(const std::vector<double> &Predicted,
+                         const std::vector<double> &Actual);
+
+/// Coefficient of determination R^2 (1 - SSE/SST).
+double rSquared(const std::vector<double> &Predicted,
+                const std::vector<double> &Actual);
+
+/// Geometric mean of strictly positive \p Values; 0 when empty.
+double geometricMean(const std::vector<double> &Values);
+
+/// Arithmetic mean; 0 when empty.
+double arithmeticMean(const std::vector<double> &Values);
+
+/// \p Q-th quantile (0..1) by linear interpolation of the sorted sample.
+double quantile(std::vector<double> Values, double Q);
+
+} // namespace alic
+
+#endif // ALIC_STATS_METRICS_H

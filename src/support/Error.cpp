@@ -1,0 +1,25 @@
+//===- support/Error.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/Error.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace alic;
+
+void alic::fatalError(const char *Fmt, ...) {
+  std::va_list Args;
+  va_start(Args, Fmt);
+  std::fprintf(stderr, "alic fatal error: ");
+  std::vfprintf(stderr, Fmt, Args);
+  std::fprintf(stderr, "\n");
+  va_end(Args);
+  std::abort();
+}
+
+void alic::unreachableInternal(const char *Msg, const char *File,
+                               unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

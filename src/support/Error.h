@@ -1,0 +1,39 @@
+//===- support/Error.h - Fatal errors and assertions ----------*- C++ -*-===//
+//
+// Part of the ALIC project: a reproduction of "Minimizing the Cost of
+// Iterative Compilation with Active Learning" (Ogilvie et al., CGO 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-terminating error reporting.  The library does not use C++
+/// exceptions; unrecoverable conditions abort with a message, recoverable
+/// conditions are expressed through std::optional or status returns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIC_SUPPORT_ERROR_H
+#define ALIC_SUPPORT_ERROR_H
+
+#include <cassert>
+
+namespace alic {
+
+/// Prints \p Msg (printf-style) to stderr and aborts.  Used for conditions
+/// that indicate a programming error or an impossible configuration, never
+/// for conditions triggered by ordinary inputs.
+[[noreturn]] void fatalError(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Marks a point in the code that is statically known to be unreachable.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace alic
+
+/// Marks unreachable code with a diagnostic message, mirroring
+/// llvm_unreachable.
+#define alic_unreachable(msg)                                                  \
+  ::alic::unreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // ALIC_SUPPORT_ERROR_H

@@ -1,0 +1,55 @@
+//===- support/Table.h - Console table and CSV emitters -------*- C++ -*-===//
+//
+// Part of the ALIC project: a reproduction of "Minimizing the Cost of
+// Iterative Compilation with Active Learning" (Ogilvie et al., CGO 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aligned plain-text tables (for the paper-replication benches) and CSV
+/// emission (for re-plotting the figures).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIC_SUPPORT_TABLE_H
+#define ALIC_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace alic {
+
+/// Accumulates rows of string cells and renders them as an aligned table.
+class Table {
+public:
+  /// Creates a table with the given column \p Headers.
+  explicit Table(std::vector<std::string> Headers);
+
+  /// Appends one row; the cell count must match the header count.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders to \p Out (defaults to stdout) with a header separator rule.
+  void print(std::FILE *Out = stdout) const;
+
+  /// Renders as CSV text (RFC-4180-style quoting for commas/quotes).
+  std::string toCsv() const;
+
+  /// Writes the CSV rendering to \p Path; returns false on I/O failure.
+  bool writeCsv(const std::string &Path) const;
+
+  /// Number of data rows added so far.
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Prints a section banner used by the bench binaries, e.g.
+/// "== Table 1: ... ==".
+void printBanner(const std::string &Title, std::FILE *Out = stdout);
+
+} // namespace alic
+
+#endif // ALIC_SUPPORT_TABLE_H

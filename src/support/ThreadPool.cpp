@@ -1,0 +1,70 @@
+//===- support/ThreadPool.cpp ---------------------------------*- C++ -*-===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace alic;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = std::max(1u, std::thread::hardware_concurrency());
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  TaskAvailable.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Tasks.push(std::move(Task));
+    ++InFlight;
+  }
+  TaskAvailable.notify_one();
+}
+
+void ThreadPool::waitAll() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return InFlight == 0; });
+}
+
+void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
+  for (size_t I = 0; I != N; ++I)
+    submit([&Fn, I] { Fn(I); });
+  waitAll();
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      TaskAvailable.wait(Lock,
+                         [this] { return ShuttingDown || !Tasks.empty(); });
+      if (Tasks.empty()) {
+        if (ShuttingDown)
+          return;
+        continue;
+      }
+      Task = std::move(Tasks.front());
+      Tasks.pop();
+    }
+    Task();
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      --InFlight;
+      if (InFlight == 0)
+        AllDone.notify_all();
+    }
+  }
+}

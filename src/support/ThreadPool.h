@@ -1,0 +1,65 @@
+//===- support/ThreadPool.h - Minimal fixed-size thread pool --*- C++ -*-===//
+//
+// Part of the ALIC project: a reproduction of "Minimizing the Cost of
+// Iterative Compilation with Active Learning" (Ogilvie et al., CGO 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool used to run independent experiment
+/// repetitions concurrently.  Determinism is preserved by giving each task
+/// its own pre-derived RNG seed, so scheduling order never affects results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIC_SUPPORT_THREADPOOL_H
+#define ALIC_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace alic {
+
+/// Fixed-size worker pool with a wait-for-all barrier.
+class ThreadPool {
+public:
+  /// Starts \p NumThreads workers (0 means hardware concurrency, min 1).
+  explicit ThreadPool(unsigned NumThreads = 0);
+
+  /// Drains outstanding work and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task for execution.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished.
+  void waitAll();
+
+  /// Number of worker threads.
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Runs \p Fn(I) for I in [0, N), distributing across the pool, and waits.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Tasks;
+  std::mutex Mutex;
+  std::condition_variable TaskAvailable;
+  std::condition_variable AllDone;
+  size_t InFlight = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace alic
+
+#endif // ALIC_SUPPORT_THREADPOOL_H

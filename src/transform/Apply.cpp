@@ -1,0 +1,171 @@
+//===- transform/Apply.cpp ------------------------------------*- C++ -*-===//
+
+#include "transform/Apply.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace alic;
+
+/// Rewrites every affine expression in \p Nodes with \p Fn, recursively.
+static void
+rewriteExprs(std::vector<std::unique_ptr<IrNode>> &Nodes,
+             const std::function<AffineExpr(const AffineExpr &)> &Fn) {
+  for (auto &Node : Nodes) {
+    if (auto *Stmt = nodeDynCast<StmtNode>(Node.get())) {
+      for (AffineExpr &Sub : Stmt->Write.Subscripts)
+        Sub = Fn(Sub);
+      for (ReadTerm &Term : Stmt->Reads)
+        for (AffineExpr &Sub : Term.Access.Subscripts)
+          Sub = Fn(Sub);
+      continue;
+    }
+    auto *Loop = nodeDynCast<LoopNode>(Node.get());
+    Loop->Lower = Fn(Loop->Lower);
+    for (AffineExpr &Upper : Loop->Uppers)
+      Upper = Fn(Upper);
+    rewriteExprs(Loop->Body, Fn);
+  }
+}
+
+/// Replaces references to \p Var with (\p Var + \p Offset).
+static void shiftVar(std::vector<std::unique_ptr<IrNode>> &Nodes,
+                     LoopVarId Var, int64_t Offset) {
+  rewriteExprs(Nodes, [Var, Offset](const AffineExpr &E) {
+    return E.substituteShift(Var, Offset);
+  });
+}
+
+/// Replaces references to \p From with references to \p To.
+static void renameVar(std::vector<std::unique_ptr<IrNode>> &Nodes,
+                      LoopVarId From, LoopVarId To) {
+  rewriteExprs(Nodes, [From, To](const AffineExpr &E) {
+    return E.substituteVar(From, To, /*Scale=*/1, /*Off=*/0);
+  });
+}
+
+/// Finds the owning list and index of the loop with variable \p Var.
+static std::vector<std::unique_ptr<IrNode>> *
+findLoopSlot(std::vector<std::unique_ptr<IrNode>> &Nodes, LoopVarId Var,
+             size_t &IndexOut) {
+  for (size_t I = 0; I != Nodes.size(); ++I) {
+    auto *Loop = nodeDynCast<LoopNode>(Nodes[I].get());
+    if (!Loop)
+      continue;
+    if (Loop->Var == Var) {
+      IndexOut = I;
+      return &Nodes;
+    }
+    if (auto *Inner = findLoopSlot(Loop->Body, Var, IndexOut))
+      return Inner;
+  }
+  return nullptr;
+}
+
+bool alic::tileLoop(Kernel &K, LoopVarId Var, int Tile) {
+  if (Tile <= 1)
+    return false;
+  size_t Index = 0;
+  auto *Owner = findLoopSlot(K.topLevel(), Var, Index);
+  if (!Owner)
+    return false;
+  auto *Point = nodeDynCast<LoopNode>((*Owner)[Index].get());
+  assert(Point && "slot must hold the loop");
+  assert(Point->Uppers.size() == 1 &&
+         "tile before unrolling: loop already has guard bounds");
+
+  LoopVarId TileVar = K.addLoopVar(K.loopVarName(Var) + "_t");
+  int64_t Stride = int64_t(Tile) * Point->Step;
+
+  // Outer tile-counter loop inherits the original bounds and strides by
+  // Tile * Step.
+  auto TileLoop = std::make_unique<LoopNode>(TileVar, Point->Lower,
+                                             Point->Uppers.front(), Stride);
+
+  // The point loop now covers one tile: [tileVar, tileVar + Tile*Step),
+  // still clipped by the original upper bound for the partial final tile.
+  AffineExpr TileBase = AffineExpr::var(TileVar);
+  AffineExpr TileEnd = AffineExpr::scaledVar(TileVar, 1, Stride);
+  Point->addUpperBound(Point->Uppers.front()); // original bound as clip
+  Point->Lower = TileBase;
+  Point->Uppers.front() = TileEnd;
+
+  TileLoop->append(std::move((*Owner)[Index]));
+  (*Owner)[Index] = std::move(TileLoop);
+  return true;
+}
+
+bool alic::unrollLoop(Kernel &K, LoopVarId Var, int Factor) {
+  if (Factor <= 1)
+    return false;
+  size_t Index = 0;
+  auto *Owner = findLoopSlot(K.topLevel(), Var, Index);
+  if (!Owner)
+    return false;
+  auto *Loop = nodeDynCast<LoopNode>((*Owner)[Index].get());
+  assert(Loop && "slot must hold the loop");
+
+  int64_t Step = Loop->Step;
+
+  // Fast path: static bounds with a divisible trip count unroll cleanly.
+  bool StaticDivisible = false;
+  if (Loop->Lower.isConstant() && Loop->Uppers.size() == 1 &&
+      Loop->Uppers.front().isConstant()) {
+    int64_t Lo = Loop->Lower.constantTerm();
+    int64_t Hi = Loop->Uppers.front().constantTerm();
+    int64_t Trip = Hi > Lo ? (Hi - Lo + Step - 1) / Step : 0;
+    StaticDivisible = Trip % Factor == 0;
+  }
+
+  std::vector<std::unique_ptr<IrNode>> NewBody;
+  if (StaticDivisible) {
+    for (int Copy = 0; Copy != Factor; ++Copy) {
+      auto Clone = cloneNodeList(Loop->Body);
+      if (Copy != 0)
+        shiftVar(Clone, Var, int64_t(Copy) * Step);
+      for (auto &Node : Clone)
+        NewBody.push_back(std::move(Node));
+    }
+  } else {
+    // General path: each copy runs in a single-iteration guard loop that
+    // re-checks the original upper bounds, so partial groups stay exact.
+    for (int Copy = 0; Copy != Factor; ++Copy) {
+      LoopVarId GuardVar =
+          K.addLoopVar(formatString("%s_u%d", K.loopVarName(Var).c_str(),
+                                    Copy));
+      AffineExpr GuardLo = AffineExpr::scaledVar(Var, 1, int64_t(Copy) * Step);
+      AffineExpr GuardHi =
+          AffineExpr::scaledVar(Var, 1, int64_t(Copy) * Step + 1);
+      auto Guard = std::make_unique<LoopNode>(GuardVar, GuardLo, GuardHi, 1);
+      for (const AffineExpr &Upper : Loop->Uppers)
+        Guard->addUpperBound(Upper);
+      auto Clone = cloneNodeList(Loop->Body);
+      renameVar(Clone, Var, GuardVar);
+      for (auto &Node : Clone)
+        Guard->append(std::move(Node));
+      NewBody.push_back(std::move(Guard));
+    }
+  }
+
+  Loop->Body = std::move(NewBody);
+  Loop->Step = Step * Factor;
+  return true;
+}
+
+Kernel alic::applyPlan(const Kernel &K, const TransformPlan &Plan) {
+  Kernel Out(K);
+  // Cache tiles first (they must see pristine single-bound loops) ...
+  for (const auto &[Var, F] : Plan.loopFactors())
+    if (F.CacheTile > 1)
+      tileLoop(Out, Var, F.CacheTile);
+  // ... then register tiles, then plain unrolls on the point loops.
+  for (const auto &[Var, F] : Plan.loopFactors())
+    if (F.RegisterTile > 1)
+      unrollLoop(Out, Var, F.RegisterTile);
+  for (const auto &[Var, F] : Plan.loopFactors())
+    if (F.Unroll > 1)
+      unrollLoop(Out, Var, F.Unroll);
+  return Out;
+}

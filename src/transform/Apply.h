@@ -1,0 +1,55 @@
+//===- transform/Apply.h - Literal loop transformations -------*- C++ -*-===//
+//
+// Part of the ALIC project: a reproduction of "Minimizing the Cost of
+// Iterative Compilation with Active Learning" (Ogilvie et al., CGO 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source-level loop transformations on the kernel IR, mirroring what the
+/// Orio transformation engine does to SPAPT kernels:
+///
+///  * cache tiling   — strip-mine a loop into a tile-counter loop and an
+///                     intra-tile point loop bounded by min(tile end, old
+///                     bound);
+///  * loop unrolling — replicate the body with shifted subscripts.  When
+///                     the trip count is static and divisible the copies
+///                     are emitted directly; otherwise each copy is
+///                     wrapped in a single-iteration guard loop so partial
+///                     final tiles stay exact;
+///  * register tiling— mechanically identical to unrolling here (the
+///                     factors differ in how the machine model charges
+///                     registers), applied before plain unrolling.
+///
+/// Every transformation is semantics-preserving by construction: the
+/// replicated statement instances execute in exactly the order the
+/// original loop would have, which tests/transform_test.cpp verifies with
+/// the reference interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIC_TRANSFORM_APPLY_H
+#define ALIC_TRANSFORM_APPLY_H
+
+#include "ir/Kernel.h"
+#include "transform/TransformPlan.h"
+
+namespace alic {
+
+/// Strip-mines the loop with variable \p Var by \p Tile.  Introduces a new
+/// loop variable named "<var>_t".  Returns false if the loop is absent or
+/// \p Tile <= 1 (kernel unchanged).
+bool tileLoop(Kernel &K, LoopVarId Var, int Tile);
+
+/// Unrolls the loop with variable \p Var by \p Factor (with remainder
+/// guards when the trip count is unknown or not divisible).  Returns false
+/// if the loop is absent or \p Factor <= 1.
+bool unrollLoop(Kernel &K, LoopVarId Var, int Factor);
+
+/// Applies a whole plan: cache tiles first (outermost semantics), then
+/// register tiles, then unrolls.  Returns the transformed copy.
+Kernel applyPlan(const Kernel &K, const TransformPlan &Plan);
+
+} // namespace alic
+
+#endif // ALIC_TRANSFORM_APPLY_H

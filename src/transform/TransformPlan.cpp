@@ -1,0 +1,68 @@
+//===- transform/TransformPlan.cpp ----------------------------*- C++ -*-===//
+
+#include "transform/TransformPlan.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace alic;
+
+TransformPlan TransformPlan::fromConfig(const ParamSpace &Space,
+                                        const Config &C) {
+  assert(C.size() == Space.numParams() && "config arity mismatch");
+  TransformPlan Plan;
+  for (size_t I = 0; I != Space.numParams(); ++I) {
+    const Param &P = Space.param(I);
+    int Value = P.value(C[I]);
+    switch (P.kind()) {
+    case ParamKind::Unroll:
+      assert(P.loopIndex() >= 0 && "unroll parameter without a loop");
+      Plan.Factors[static_cast<LoopVarId>(P.loopIndex())].Unroll = Value;
+      break;
+    case ParamKind::CacheTile:
+      assert(P.loopIndex() >= 0 && "tile parameter without a loop");
+      Plan.Factors[static_cast<LoopVarId>(P.loopIndex())].CacheTile = Value;
+      break;
+    case ParamKind::RegisterTile:
+      assert(P.loopIndex() >= 0 && "register-tile parameter without a loop");
+      Plan.Factors[static_cast<LoopVarId>(P.loopIndex())].RegisterTile =
+          Value;
+      break;
+    case ParamKind::Binary:
+    case ParamKind::Generic:
+      Plan.Flags[P.name()] = Value;
+      break;
+    }
+  }
+  return Plan;
+}
+
+const LoopFactors &TransformPlan::factors(LoopVarId Var) const {
+  static const LoopFactors Identity;
+  auto It = Factors.find(Var);
+  return It == Factors.end() ? Identity : It->second;
+}
+
+int TransformPlan::flag(const std::string &Name) const {
+  auto It = Flags.find(Name);
+  return It == Flags.end() ? 0 : It->second;
+}
+
+double TransformPlan::expansionFactor() const {
+  double Product = 1.0;
+  for (const auto &[Var, F] : Factors)
+    Product *= double(F.Unroll) * double(F.RegisterTile);
+  return Product;
+}
+
+std::string TransformPlan::toString() const {
+  std::vector<std::string> Parts;
+  for (const auto &[Var, F] : Factors)
+    Parts.push_back(formatString("v%u{U=%d,T=%d,RT=%d}", Var, F.Unroll,
+                                 F.CacheTile, F.RegisterTile));
+  for (const auto &[Name, Value] : Flags)
+    Parts.push_back(formatString("%s=%d", Name.c_str(), Value));
+  return joinStrings(Parts, " ");
+}

@@ -1,0 +1,188 @@
+//===- tests/active_test.cpp - active-learning loop tests -----*- C++ -*-===//
+
+#include "core/ActiveLearner.h"
+#include "dynatree/DynaTree.h"
+#include "exp/Dataset.h"
+#include "spapt/Suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace alic;
+
+namespace {
+
+struct Fixture {
+  std::unique_ptr<SpaptBenchmark> B;
+  Dataset D;
+
+  explicit Fixture(const char *Name = "mvt", size_t NumConfigs = 400) {
+    B = createSpaptBenchmark(Name);
+    D = buildDataset(*B, NumConfigs, 0.75, 10, 123);
+  }
+
+  ActiveLearnerConfig config(unsigned Nmax) const {
+    ActiveLearnerConfig C;
+    C.NumInitial = 4;
+    C.InitObservations = 10;
+    C.MaxTrainingExamples = Nmax;
+    C.CandidatesPerIteration = 30;
+    C.ReferenceSetSize = 30;
+    C.Seed = 11;
+    return C;
+  }
+
+  DynaTreeConfig modelConfig() const {
+    DynaTreeConfig C;
+    C.NumParticles = 60;
+    C.Seed = 13;
+    return C;
+  }
+};
+
+} // namespace
+
+TEST(ActiveLearnerTest, CompletesAtNmax) {
+  Fixture F;
+  DynaTree M(F.modelConfig());
+  ActiveLearner L(*F.B, M, F.D.Norm, F.D.TrainPool,
+                  SamplingPlan::sequential(35), F.config(40));
+  while (L.step()) {
+  }
+  EXPECT_TRUE(L.done());
+  EXPECT_EQ(L.stats().Iterations, 40u);
+}
+
+TEST(ActiveLearnerTest, FixedPlanObservationAccounting) {
+  Fixture F;
+  DynaTree M(F.modelConfig());
+  ActiveLearner L(*F.B, M, F.D.Norm, F.D.TrainPool, SamplingPlan::fixed(7),
+                  F.config(20));
+  while (L.step()) {
+  }
+  // 4 seeds x 10 obs + 20 iterations x 7 obs.
+  EXPECT_EQ(L.stats().Observations, 4u * 10u + 20u * 7u);
+  EXPECT_EQ(L.stats().Revisits, 0u);
+  EXPECT_EQ(L.stats().DistinctExamples, 24u);
+  EXPECT_EQ(L.profiler().ledger().Runs, L.stats().Observations);
+}
+
+TEST(ActiveLearnerTest, SequentialPlanTakesOneObservationPerIteration) {
+  Fixture F;
+  DynaTree M(F.modelConfig());
+  ActiveLearner L(*F.B, M, F.D.Norm, F.D.TrainPool,
+                  SamplingPlan::sequential(35), F.config(30));
+  while (L.step()) {
+  }
+  EXPECT_EQ(L.stats().Observations, 4u * 10u + 30u);
+  EXPECT_EQ(L.stats().DistinctExamples + L.stats().Revisits, 30u + 4u);
+}
+
+TEST(ActiveLearnerTest, SequentialNeverExceedsObservationCap) {
+  Fixture F("correlation", 120); // noisy: revisits will happen
+  DynaTree M(F.modelConfig());
+  const unsigned Cap = 4;
+  ActiveLearnerConfig Cfg = F.config(80);
+  ActiveLearner L(*F.B, M, F.D.Norm, F.D.TrainPool,
+                  SamplingPlan::sequential(Cap), Cfg);
+  while (L.step()) {
+  }
+  // Seed examples receive InitObservations up front (they are never
+  // revisited); every loop-selected example must respect the cap.
+  size_t OverCap = 0;
+  for (const Config &C : F.D.TrainPool) {
+    unsigned N = L.profiler().observationCount(C);
+    if (N > Cap) {
+      EXPECT_EQ(N, Cfg.InitObservations) << F.B->space().toString(C);
+      ++OverCap;
+    }
+  }
+  EXPECT_LE(OverCap, size_t(Cfg.NumInitial));
+}
+
+TEST(ActiveLearnerTest, NoisyBenchmarkTriggersRevisits) {
+  Fixture F("correlation", 300);
+  DynaTree M(F.modelConfig());
+  ActiveLearner L(*F.B, M, F.D.Norm, F.D.TrainPool,
+                  SamplingPlan::sequential(35), F.config(80));
+  while (L.step()) {
+  }
+  EXPECT_GT(L.stats().Revisits, 0u);
+}
+
+TEST(ActiveLearnerTest, CostIsMonotoneAcrossSteps) {
+  Fixture F;
+  DynaTree M(F.modelConfig());
+  ActiveLearner L(*F.B, M, F.D.Norm, F.D.TrainPool,
+                  SamplingPlan::sequential(35), F.config(25));
+  double Last = 0.0;
+  while (L.step()) {
+    EXPECT_GE(L.cumulativeCostSeconds(), Last);
+    Last = L.cumulativeCostSeconds();
+  }
+  EXPECT_GT(Last, 0.0);
+}
+
+TEST(ActiveLearnerTest, DeterministicGivenSeed) {
+  Fixture F;
+  DynaTree M1(F.modelConfig()), M2(F.modelConfig());
+  ActiveLearner L1(*F.B, M1, F.D.Norm, F.D.TrainPool,
+                   SamplingPlan::sequential(35), F.config(25));
+  ActiveLearner L2(*F.B, M2, F.D.Norm, F.D.TrainPool,
+                   SamplingPlan::sequential(35), F.config(25));
+  while (L1.step()) {
+  }
+  while (L2.step()) {
+  }
+  EXPECT_EQ(L1.cumulativeCostSeconds(), L2.cumulativeCostSeconds());
+  EXPECT_EQ(L1.stats().Revisits, L2.stats().Revisits);
+}
+
+TEST(ActiveLearnerTest, RandomScorerRuns) {
+  Fixture F;
+  DynaTree M(F.modelConfig());
+  ActiveLearnerConfig C = F.config(20);
+  C.Scorer = ScorerKind::Random;
+  ActiveLearner L(*F.B, M, F.D.Norm, F.D.TrainPool,
+                  SamplingPlan::sequential(35), C);
+  while (L.step()) {
+  }
+  EXPECT_EQ(L.stats().Iterations, 20u);
+}
+
+TEST(ActiveLearnerTest, AlmScorerRuns) {
+  Fixture F;
+  DynaTree M(F.modelConfig());
+  ActiveLearnerConfig C = F.config(20);
+  C.Scorer = ScorerKind::Alm;
+  ActiveLearner L(*F.B, M, F.D.Norm, F.D.TrainPool,
+                  SamplingPlan::sequential(35), C);
+  while (L.step()) {
+  }
+  EXPECT_EQ(L.stats().Iterations, 20u);
+}
+
+TEST(ActiveLearnerTest, BatchSelectionLabelsSeveralPerStep) {
+  Fixture F;
+  DynaTree M(F.modelConfig());
+  ActiveLearnerConfig C = F.config(24);
+  C.BatchSize = 4;
+  ActiveLearner L(*F.B, M, F.D.Norm, F.D.TrainPool,
+                  SamplingPlan::sequential(35), C);
+  L.step(); // seed
+  size_t StepsAfterSeed = 0;
+  while (L.step())
+    ++StepsAfterSeed;
+  EXPECT_EQ(L.stats().Iterations, 24u);
+  EXPECT_LE(StepsAfterSeed, 7u); // 24 / 4 = 6 full batches (+ remainder)
+}
+
+TEST(ActiveLearnerTest, PoolExhaustionTerminates) {
+  Fixture F("mvt", 40); // pool of 30 training configs
+  DynaTree M(F.modelConfig());
+  ActiveLearner L(*F.B, M, F.D.Norm, F.D.TrainPool, SamplingPlan::fixed(1),
+                  F.config(500));
+  while (L.step()) {
+  }
+  EXPECT_TRUE(L.done());
+  EXPECT_LT(L.stats().Iterations, 500u);
+}

@@ -1,0 +1,220 @@
+//===- tests/dynatree_test.cpp - dynamic-tree model tests -----*- C++ -*-===//
+
+#include "dynatree/DynaTree.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace alic;
+
+namespace {
+
+DynaTreeConfig smallConfig(unsigned Particles = 120, uint64_t Seed = 3) {
+  DynaTreeConfig C;
+  C.NumParticles = Particles;
+  C.Seed = Seed;
+  return C;
+}
+
+/// Step function in 1D: 0 below 0, 5 above.
+double stepFn(double X) { return X < 0.0 ? 0.0 : 5.0; }
+
+} // namespace
+
+TEST(DynaTreeTest, LearnsConstantFunction) {
+  DynaTree M(smallConfig());
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  Rng R(1);
+  for (int I = 0; I != 40; ++I) {
+    X.push_back({R.nextUniform(-1, 1)});
+    Y.push_back(3.0);
+  }
+  M.fit(X, Y);
+  Prediction P = M.predict({0.5});
+  EXPECT_NEAR(P.Mean, 3.0, 1e-6);
+  EXPECT_LT(P.Variance, 0.01);
+}
+
+TEST(DynaTreeTest, LearnsStepFunction) {
+  DynaTree M(smallConfig());
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  Rng R(2);
+  for (int I = 0; I != 30; ++I) {
+    double V = R.nextUniform(-1, 1);
+    X.push_back({V});
+    Y.push_back(stepFn(V));
+  }
+  M.fit(X, Y);
+  for (int I = 0; I != 200; ++I) {
+    double V = R.nextUniform(-1, 1);
+    M.update({V}, stepFn(V));
+  }
+  EXPECT_NEAR(M.predict({-0.7}).Mean, 0.0, 0.4);
+  EXPECT_NEAR(M.predict({0.7}).Mean, 5.0, 0.4);
+  EXPECT_GT(M.averageLeafCount(), 1.5);
+}
+
+TEST(DynaTreeTest, DeterministicForEqualSeeds) {
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  Rng R(4);
+  for (int I = 0; I != 50; ++I) {
+    X.push_back({R.nextUniform(-1, 1), R.nextUniform(-1, 1)});
+    Y.push_back(X.back()[0] * 2.0 + R.nextGaussian() * 0.1);
+  }
+  DynaTree M1(smallConfig(80, 9)), M2(smallConfig(80, 9));
+  M1.fit(X, Y);
+  M2.fit(X, Y);
+  Prediction P1 = M1.predict({0.3, -0.2});
+  Prediction P2 = M2.predict({0.3, -0.2});
+  EXPECT_EQ(P1.Mean, P2.Mean);
+  EXPECT_EQ(P1.Variance, P2.Variance);
+}
+
+TEST(DynaTreeTest, VarianceHigherOnComplexRegions) {
+  // Constant leaves covering a steep ramp mix heterogeneous values, so
+  // their predictive variance must exceed leaves on a flat plateau — the
+  // "complex areas of the decision space stick out" mechanism the paper
+  // relies on (Section 3.1).
+  DynaTree M(smallConfig(200));
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  Rng R(5);
+  for (int I = 0; I != 300; ++I) {
+    double V = R.nextUniform(-1, 1);
+    X.push_back({V});
+    double Ramp = V < 0.0 ? 0.0 : 10.0 * V;
+    Y.push_back(Ramp + 0.01 * R.nextGaussian());
+  }
+  M.fit(X, Y);
+  auto bandVariance = [&M](double Lo, double Hi) {
+    double Sum = 0.0;
+    const int Steps = 21;
+    for (int I = 0; I != Steps; ++I)
+      Sum += M.predict({Lo + (Hi - Lo) * I / (Steps - 1)}).Variance;
+    return Sum / Steps;
+  };
+  EXPECT_GT(bandVariance(0.3, 1.0), bandVariance(-1.0, -0.3));
+}
+
+TEST(DynaTreeTest, NoisyLeafHasHigherVarianceThanQuietLeaf) {
+  DynaTree M(smallConfig(200));
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  Rng R(6);
+  // Left half quiet, right half very noisy (heteroskedastic).
+  for (int I = 0; I != 150; ++I) {
+    double V = R.nextUniform(-1, 0);
+    X.push_back({V});
+    Y.push_back(2.0 + 0.01 * R.nextGaussian());
+  }
+  for (int I = 0; I != 150; ++I) {
+    double V = R.nextUniform(0, 1);
+    X.push_back({V});
+    Y.push_back(2.0 + 1.0 * R.nextGaussian());
+  }
+  // Interleave for the SMC.
+  std::vector<size_t> Order = R.sampleIndices(X.size(), X.size());
+  std::vector<std::vector<double>> Xi;
+  std::vector<double> Yi;
+  for (size_t I : Order) {
+    Xi.push_back(X[I]);
+    Yi.push_back(Y[I]);
+  }
+  M.fit(Xi, Yi);
+  EXPECT_GT(M.predict({0.5}).Variance, 3.0 * M.predict({-0.5}).Variance);
+}
+
+TEST(DynaTreeTest, AlcScoresNonNegativeAndFavourUncertainRegions) {
+  DynaTree M(smallConfig(200));
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  Rng R(7);
+  for (int I = 0; I != 150; ++I) {
+    double V = R.nextUniform(-1, 0);
+    X.push_back({V});
+    Y.push_back(1.0 + 0.005 * R.nextGaussian());
+  }
+  for (int I = 0; I != 30; ++I) {
+    double V = R.nextUniform(0, 1);
+    X.push_back({V});
+    Y.push_back(3.0 + 0.8 * R.nextGaussian());
+  }
+  std::vector<size_t> Order = R.sampleIndices(X.size(), X.size());
+  std::vector<std::vector<double>> Xi;
+  std::vector<double> Yi;
+  for (size_t I : Order) {
+    Xi.push_back(X[I]);
+    Yi.push_back(Y[I]);
+  }
+  M.fit(Xi, Yi);
+
+  std::vector<std::vector<double>> Ref;
+  for (int I = 0; I != 100; ++I)
+    Ref.push_back({R.nextUniform(-1, 1)});
+  std::vector<std::vector<double>> Cands = {{-0.5}, {0.5}};
+  std::vector<double> Scores = M.alcScores(Cands, Ref);
+  EXPECT_GE(Scores[0], 0.0);
+  EXPECT_GE(Scores[1], 0.0);
+  EXPECT_GT(Scores[1], Scores[0]); // noisy side more informative
+}
+
+TEST(DynaTreeTest, AlmEqualsPredictiveVariance) {
+  DynaTree M(smallConfig());
+  std::vector<std::vector<double>> X = {{0.0}, {1.0}, {2.0}, {3.0}, {4.0}};
+  std::vector<double> Y = {1.0, 2.0, 3.0, 2.0, 1.0};
+  M.fit(X, Y);
+  std::vector<std::vector<double>> Cands = {{0.5}, {3.5}};
+  std::vector<double> Alm = M.almScores(Cands);
+  EXPECT_DOUBLE_EQ(Alm[0], M.predict({0.5}).Variance);
+  EXPECT_DOUBLE_EQ(Alm[1], M.predict({3.5}).Variance);
+}
+
+TEST(DynaTreeTest, EffectiveSampleSizeWithinBounds) {
+  DynaTree M(smallConfig(100));
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  Rng R(8);
+  for (int I = 0; I != 60; ++I) {
+    X.push_back({R.nextUniform(-1, 1)});
+    Y.push_back(std::sin(3 * X.back()[0]) + 0.05 * R.nextGaussian());
+  }
+  M.fit(X, Y);
+  EXPECT_GE(M.effectiveSampleSize(), 1.0);
+  EXPECT_LE(M.effectiveSampleSize(), 100.0);
+}
+
+TEST(DynaTreeTest, NumObservationsTracksUpdates) {
+  DynaTree M(smallConfig());
+  M.fit({{0.0}, {1.0}}, {1.0, 2.0});
+  EXPECT_EQ(M.numObservations(), 2u);
+  M.update({2.0}, 3.0);
+  EXPECT_EQ(M.numObservations(), 3u);
+}
+
+TEST(DynaTreeTest, RefitResetsState) {
+  DynaTree M(smallConfig());
+  M.fit({{0.0}, {1.0}, {2.0}}, {1.0, 1.0, 1.0});
+  M.fit({{5.0}, {6.0}}, {9.0, 9.0});
+  EXPECT_EQ(M.numObservations(), 2u);
+  EXPECT_NEAR(M.predict({5.5}).Mean, 9.0, 0.5);
+}
+
+TEST(DynaTreeTest, TreesGrowWithStructuredData) {
+  DynaTree M(smallConfig(150));
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  Rng R(9);
+  for (int I = 0; I != 400; ++I) {
+    double A = R.nextUniform(-2, 2), B = R.nextUniform(-2, 2);
+    X.push_back({A, B});
+    Y.push_back(stepFn(A) + stepFn(B) + 0.02 * R.nextGaussian());
+  }
+  M.fit(X, Y);
+  EXPECT_GT(M.averageLeafCount(), 3.0);
+  EXPECT_GT(M.averageDepth(), 1.0);
+}

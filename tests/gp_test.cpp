@@ -1,0 +1,118 @@
+//===- tests/gp_test.cpp - Gaussian-process tests -------------*- C++ -*-===//
+
+#include "gp/GaussianProcess.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace alic;
+
+namespace {
+
+GpConfig fixedConfig(double Length = 0.7, double Noise = 1e-4) {
+  GpConfig C;
+  C.OptimizeHyperParams = false;
+  C.Init.SignalVariance = 1.0;
+  C.Init.LengthScale = Length;
+  C.Init.NoiseVariance = Noise;
+  return C;
+}
+
+} // namespace
+
+TEST(GpTest, InterpolatesCleanData) {
+  GaussianProcess M(fixedConfig());
+  std::vector<std::vector<double>> X = {{-1.0}, {-0.3}, {0.4}, {1.0}};
+  std::vector<double> Y;
+  for (const auto &Xi : X)
+    Y.push_back(std::sin(2.0 * Xi[0]));
+  M.fit(X, Y);
+  for (size_t I = 0; I != X.size(); ++I)
+    EXPECT_NEAR(M.predict(X[I]).Mean, Y[I], 5e-3);
+}
+
+TEST(GpTest, VarianceSmallAtDataLargeFarAway) {
+  GaussianProcess M(fixedConfig());
+  M.fit({{0.0}, {0.5}}, {1.0, 2.0});
+  EXPECT_LT(M.predict({0.0}).Variance, 0.01);
+  EXPECT_GT(M.predict({8.0}).Variance, 0.9); // back to the prior
+}
+
+TEST(GpTest, MeanRevertsToPriorFarAway) {
+  GaussianProcess M(fixedConfig());
+  M.fit({{0.0}, {1.0}}, {4.0, 6.0});
+  EXPECT_NEAR(M.predict({50.0}).Mean, 5.0, 1e-6); // data mean
+}
+
+TEST(GpTest, HyperOptimizationImprovesLikelihood) {
+  Rng R(3);
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  for (int I = 0; I != 40; ++I) {
+    X.push_back({R.nextUniform(-2, 2)});
+    Y.push_back(std::sin(3.0 * X.back()[0]) + 0.05 * R.nextGaussian());
+  }
+  GaussianProcess Fixed(fixedConfig(5.0, 0.5)); // bad hypers
+  Fixed.fit(X, Y);
+  GpConfig Opt;
+  Opt.OptimizeHyperParams = true;
+  Opt.OptimizerRestarts = 30;
+  GaussianProcess Tuned(Opt);
+  Tuned.fit(X, Y);
+  EXPECT_GT(Tuned.logMarginalLikelihood(), Fixed.logMarginalLikelihood());
+}
+
+TEST(GpTest, UpdateRefitsAndAbsorbsPoint) {
+  GaussianProcess M(fixedConfig());
+  M.fit({{0.0}, {1.0}}, {0.0, 1.0});
+  M.update({2.0}, 4.0);
+  EXPECT_EQ(M.numObservations(), 3u);
+  EXPECT_NEAR(M.predict({2.0}).Mean, 4.0, 0.05);
+}
+
+TEST(GpTest, AlcPositiveAndLocalized) {
+  GaussianProcess M(fixedConfig(0.5));
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  for (double V = -2.0; V <= 0.0; V += 0.25) {
+    X.push_back({V});
+    Y.push_back(V * V);
+  }
+  M.fit(X, Y);
+  // Reference points on the unexplored right side.
+  std::vector<std::vector<double>> Ref;
+  for (double V = 0.5; V <= 2.0; V += 0.25)
+    Ref.push_back({V});
+  std::vector<double> Scores =
+      M.alcScores({{1.2}, {-1.2}}, Ref);
+  EXPECT_GT(Scores[0], 0.0);
+  // A candidate inside the unexplored region helps the reference set more.
+  EXPECT_GT(Scores[0], Scores[1]);
+}
+
+TEST(GpTest, DeterministicGivenSeed) {
+  Rng R(5);
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  for (int I = 0; I != 20; ++I) {
+    X.push_back({R.nextUniform(-1, 1)});
+    Y.push_back(X.back()[0]);
+  }
+  GpConfig C;
+  C.Seed = 42;
+  GaussianProcess M1(C), M2(C);
+  M1.fit(X, Y);
+  M2.fit(X, Y);
+  EXPECT_EQ(M1.predict({0.2}).Mean, M2.predict({0.2}).Mean);
+  EXPECT_EQ(M1.hyperParams().LengthScale, M2.hyperParams().LengthScale);
+}
+
+TEST(GpTest, HandlesDuplicateInputsViaNugget) {
+  GaussianProcess M(fixedConfig(0.7, 1e-3));
+  // Two noisy observations at the same x must not break the factorization.
+  M.fit({{1.0}, {1.0}, {2.0}}, {3.0, 3.2, 5.0});
+  Prediction P = M.predict({1.0});
+  EXPECT_NEAR(P.Mean, 3.1, 0.2);
+}

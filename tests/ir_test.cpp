@@ -1,0 +1,216 @@
+//===- tests/ir_test.cpp - ir/ unit tests ---------------------*- C++ -*-===//
+
+#include "ir/AffineExpr.h"
+#include "ir/Interp.h"
+#include "ir/Kernel.h"
+#include "spapt/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace alic;
+
+//===----------------------------------------------------------------------===//
+// AffineExpr
+//===----------------------------------------------------------------------===//
+
+TEST(AffineExprTest, EvaluateBasics) {
+  AffineExpr E = AffineExpr::scaledVar(0, 2, 5); // 2*v0 + 5
+  EXPECT_EQ(E.evaluate({3}), 11);
+  EXPECT_EQ(E.coefficient(0), 2);
+  EXPECT_EQ(E.constantTerm(), 5);
+  EXPECT_TRUE(E.references(0));
+  EXPECT_FALSE(E.references(1));
+}
+
+TEST(AffineExprTest, AdditionMergesTerms) {
+  AffineExpr A = AffineExpr::var(0);
+  AffineExpr B = AffineExpr::scaledVar(0, 2, 1);
+  AffineExpr C = A + B; // 3*v0 + 1
+  EXPECT_EQ(C.coefficient(0), 3);
+  EXPECT_EQ(C.constantTerm(), 1);
+  EXPECT_EQ(C.terms().size(), 1u);
+}
+
+TEST(AffineExprTest, CancellationDropsTerm) {
+  AffineExpr A = AffineExpr::scaledVar(1, 3);
+  AffineExpr B = AffineExpr::scaledVar(1, -3);
+  AffineExpr C = A + B;
+  EXPECT_TRUE(C.isConstant());
+  EXPECT_EQ(C.constantTerm(), 0);
+}
+
+TEST(AffineExprTest, SubstituteShift) {
+  // v0 + 2*v1 with v1 -> v1 + 3 gives v0 + 2*v1 + 6.
+  AffineExpr E = AffineExpr::var(0) + AffineExpr::scaledVar(1, 2);
+  AffineExpr S = E.substituteShift(1, 3);
+  EXPECT_EQ(S.coefficient(0), 1);
+  EXPECT_EQ(S.coefficient(1), 2);
+  EXPECT_EQ(S.constantTerm(), 6);
+}
+
+TEST(AffineExprTest, SubstituteVarRewritesStripMine) {
+  // i with i -> 4*it + 2.
+  AffineExpr E = AffineExpr::scaledVar(0, 3, 1); // 3i + 1
+  AffineExpr S = E.substituteVar(0, 5, 4, 2);    // 12*v5 + 7
+  EXPECT_EQ(S.coefficient(5), 12);
+  EXPECT_EQ(S.coefficient(0), 0);
+  EXPECT_EQ(S.constantTerm(), 7);
+}
+
+TEST(AffineExprTest, ToStringReadable) {
+  AffineExpr E = AffineExpr::scaledVar(0, 2, -1) + AffineExpr::scaledVar(1, -1);
+  EXPECT_EQ(E.toString({"i", "j"}), "2*i - j - 1");
+  EXPECT_EQ(AffineExpr::constant(4).toString({}), "4");
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel structure
+//===----------------------------------------------------------------------===//
+
+TEST(KernelTest, MmStructure) {
+  KernelBundle B = buildMm(8);
+  EXPECT_EQ(B.K.name(), "mm");
+  EXPECT_EQ(B.K.numArrays(), 3u);
+  EXPECT_EQ(B.K.countLoops(), 3u);
+  EXPECT_EQ(B.K.countStmts(), 1u);
+  EXPECT_EQ(B.Params.size(), 6u);
+}
+
+TEST(KernelTest, FindLoopLocatesNestedLoops) {
+  KernelBundle B = buildMm(8);
+  for (LoopVarId V = 0; V != 3; ++V) {
+    LoopNode *L = B.K.findLoop(V);
+    ASSERT_NE(L, nullptr);
+    EXPECT_EQ(L->Var, V);
+  }
+  EXPECT_EQ(B.K.findLoop(99), nullptr);
+}
+
+TEST(KernelTest, CloneIsDeep) {
+  KernelBundle B = buildMm(8);
+  Kernel Copy(B.K);
+  // Mutating the copy must not affect the original.
+  Copy.findLoop(0)->Step = 7;
+  EXPECT_EQ(B.K.findLoop(0)->Step, 1);
+  EXPECT_EQ(Copy.findLoop(0)->Step, 7);
+}
+
+TEST(KernelTest, PrinterShowsLoopsAndStatement) {
+  KernelBundle B = buildMm(4);
+  std::string S = B.K.toString();
+  EXPECT_NE(S.find("kernel mm"), std::string::npos);
+  EXPECT_NE(S.find("for (i1 = 0; i1 < 4; i1++)"), std::string::npos);
+  EXPECT_NE(S.find("C[i1][i2] += "), std::string::npos);
+}
+
+TEST(KernelTest, StmtFlopsCounting) {
+  KernelBundle B = buildMm(4);
+  B.K.forEachStmt([](const StmtNode &S) {
+    // C += A*B: one multiply + one accumulate add.
+    EXPECT_EQ(S.flops(), 3u);
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter
+//===----------------------------------------------------------------------===//
+
+TEST(InterpTest, MmMatchesHandwrittenMatmul) {
+  const int64_t N = 6;
+  KernelBundle B = buildMm(N);
+  Interpreter I(B.K);
+  InterpResult R = I.run();
+  EXPECT_EQ(R.StmtInstances, uint64_t(N * N * N));
+
+  // Reference: C[i][j] = C0[i][j] + sum_k A[i][k] * B[k][j] with the same
+  // deterministic initialization.
+  auto AInit = [&](int64_t Row, int64_t Col) {
+    return initialArrayValue(0, size_t(Row * N + Col));
+  };
+  auto BInit = [&](int64_t Row, int64_t Col) {
+    return initialArrayValue(1, size_t(Row * N + Col));
+  };
+  auto CInit = [&](int64_t Row, int64_t Col) {
+    return initialArrayValue(2, size_t(Row * N + Col));
+  };
+  const std::vector<double> &C = I.array(2);
+  for (int64_t Row = 0; Row != N; ++Row)
+    for (int64_t Col = 0; Col != N; ++Col) {
+      double Expect = CInit(Row, Col);
+      for (int64_t K = 0; K != N; ++K)
+        Expect += AInit(Row, K) * BInit(K, Col);
+      EXPECT_NEAR(C[size_t(Row * N + Col)], Expect, 1e-9);
+    }
+}
+
+TEST(InterpTest, TriangularLoopInstanceCount) {
+  // lu: scaling nest has sum_{k<N-1}(N-k-1) instances, update nest the
+  // squares; total = sum (N-1-k) + (N-1-k)^2 for k in [0, N-1).
+  const int64_t N = 7;
+  KernelBundle B = buildLu(N);
+  Interpreter I(B.K);
+  InterpResult R = I.run();
+  uint64_t Expect = 0;
+  for (int64_t K = 0; K + 1 < N; ++K) {
+    uint64_t M = uint64_t(N - K - 1);
+    Expect += M + M * M;
+  }
+  EXPECT_EQ(R.StmtInstances, Expect);
+}
+
+TEST(InterpTest, DeterministicAcrossRuns) {
+  KernelBundle B = buildJacobi(10, 3);
+  Interpreter I1(B.K), I2(B.K);
+  EXPECT_EQ(I1.run().Checksum, I2.run().Checksum);
+}
+
+TEST(InterpTest, InitialValuesInHalfOpenUnitRange) {
+  for (unsigned Arr = 0; Arr != 5; ++Arr)
+    for (size_t Idx = 0; Idx != 1000; ++Idx) {
+      double V = initialArrayValue(Arr, Idx);
+      EXPECT_GT(V, 0.0);
+      EXPECT_LE(V, 1.0);
+    }
+}
+
+TEST(InterpTest, LoopIterationsTracked) {
+  const int64_t N = 5;
+  KernelBundle B = buildMm(N);
+  InterpResult R = Interpreter(B.K).run();
+  EXPECT_EQ(R.LoopIterations, uint64_t(N + N * N + N * N * N));
+}
+
+//===----------------------------------------------------------------------===//
+// Verification
+//===----------------------------------------------------------------------===//
+
+TEST(KernelVerifyTest, AllSpaptKernelsVerify) {
+  // Builders call verify(); this re-checks mini instances explicitly.
+  buildMm(8).K.verify();
+  buildMvt(8).K.verify();
+  buildJacobi(8, 2).K.verify();
+  buildHessian(8).K.verify();
+  buildLu(8).K.verify();
+  buildBicgkernel(8).K.verify();
+  buildAtax(8).K.verify();
+  buildAdi(8, 2).K.verify();
+  buildCorrelation(8, 6).K.verify();
+  buildGemver(8).K.verify();
+  buildDgemv3(8).K.verify();
+  SUCCEED();
+}
+
+TEST(KernelVerifyTest, VerifierRejectsOutOfScopeVariable) {
+  Kernel K("bad");
+  unsigned A = K.addArray("A", {4});
+  LoopVarId I = K.addLoopVar("i");
+  LoopVarId J = K.addLoopVar("j"); // never declared by a loop
+  auto L = std::make_unique<LoopNode>(I, AffineExpr::constant(0),
+                                      AffineExpr::constant(4));
+  std::vector<ReadTerm> Reads;
+  Reads.push_back({ArrayAccess(A, {AffineExpr::var(J)}), 1.0});
+  L->append(std::make_unique<StmtNode>(ArrayAccess(A, {AffineExpr::var(I)}),
+                                       false, RhsKind::Sum, std::move(Reads)));
+  K.appendTopLevel(std::move(L));
+  EXPECT_DEATH(K.verify(), "out-of-scope");
+}

@@ -1,0 +1,128 @@
+//===- tests/linalg_test.cpp - linalg/ unit tests -------------*- C++ -*-===//
+
+#include "linalg/Cholesky.h"
+#include "linalg/Matrix.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace alic;
+
+namespace {
+
+/// Random symmetric positive-definite matrix A = B B^T + n I.
+Matrix randomSpd(size_t N, Rng &R) {
+  Matrix B(N, N);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = 0; J != N; ++J)
+      B.at(I, J) = R.nextGaussian();
+  Matrix A = B.multiply(B.transpose());
+  A.addToDiagonal(double(N) * 0.1);
+  return A;
+}
+
+} // namespace
+
+TEST(MatrixTest, IdentityMultiply) {
+  Rng R(1);
+  Matrix A(4, 4);
+  for (size_t I = 0; I != 4; ++I)
+    for (size_t J = 0; J != 4; ++J)
+      A.at(I, J) = R.nextGaussian();
+  Matrix I4 = Matrix::identity(4);
+  EXPECT_NEAR(A.multiply(I4).maxAbsDiff(A), 0.0, 1e-14);
+  EXPECT_NEAR(I4.multiply(A).maxAbsDiff(A), 0.0, 1e-14);
+}
+
+TEST(MatrixTest, MultiplyKnownValues) {
+  Matrix A(2, 3);
+  A.at(0, 0) = 1;
+  A.at(0, 1) = 2;
+  A.at(0, 2) = 3;
+  A.at(1, 0) = 4;
+  A.at(1, 1) = 5;
+  A.at(1, 2) = 6;
+  std::vector<double> X = {1.0, 0.0, -1.0};
+  std::vector<double> Y = A.multiply(X);
+  EXPECT_NEAR(Y[0], -2.0, 1e-14);
+  EXPECT_NEAR(Y[1], -2.0, 1e-14);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Rng R(2);
+  Matrix A(3, 5);
+  for (size_t I = 0; I != 3; ++I)
+    for (size_t J = 0; J != 5; ++J)
+      A.at(I, J) = R.nextGaussian();
+  EXPECT_NEAR(A.transpose().transpose().maxAbsDiff(A), 0.0, 0.0);
+}
+
+TEST(MatrixTest, DotAndDistance) {
+  std::vector<double> A = {1.0, 2.0};
+  std::vector<double> B = {3.0, -1.0};
+  EXPECT_NEAR(dotProduct(A, B), 1.0, 1e-14);
+  EXPECT_NEAR(squaredDistance(A, B), 4.0 + 9.0, 1e-14);
+}
+
+class CholeskyTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(CholeskyTest, FactorReconstructsMatrix) {
+  Rng R(GetParam() * 7 + 1);
+  size_t N = GetParam();
+  Matrix A = randomSpd(N, R);
+  auto F = Cholesky::factorize(A);
+  ASSERT_TRUE(F.has_value());
+  const Matrix &L = F->factor();
+  Matrix Rec = L.multiply(L.transpose());
+  EXPECT_LT(Rec.maxAbsDiff(A), 1e-8 * double(N));
+}
+
+TEST_P(CholeskyTest, SolveMatchesDirectResidual) {
+  Rng R(GetParam() * 13 + 5);
+  size_t N = GetParam();
+  Matrix A = randomSpd(N, R);
+  std::vector<double> B(N);
+  for (double &V : B)
+    V = R.nextGaussian();
+  auto F = Cholesky::factorize(A);
+  ASSERT_TRUE(F.has_value());
+  std::vector<double> X = F->solve(B);
+  std::vector<double> Ax = A.multiply(X);
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_NEAR(Ax[I], B[I], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyTest,
+                         testing::Values(1, 2, 3, 5, 10, 25, 60));
+
+TEST(CholeskyTest, LogDeterminantKnownValue) {
+  Matrix A(2, 2);
+  A.at(0, 0) = 4.0;
+  A.at(1, 1) = 9.0;
+  auto F = Cholesky::factorize(A);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_NEAR(F->logDeterminant(), std::log(36.0), 1e-12);
+}
+
+TEST(CholeskyTest, RejectsIndefiniteMatrix) {
+  Matrix A(2, 2);
+  A.at(0, 0) = 1.0;
+  A.at(0, 1) = 2.0;
+  A.at(1, 0) = 2.0;
+  A.at(1, 1) = 1.0; // eigenvalues 3 and -1
+  EXPECT_FALSE(Cholesky::factorize(A).has_value());
+}
+
+TEST(CholeskyTest, SolveLowerForwardSubstitution) {
+  Matrix A(2, 2);
+  A.at(0, 0) = 4.0;
+  A.at(1, 1) = 9.0;
+  auto F = Cholesky::factorize(A);
+  ASSERT_TRUE(F.has_value());
+  // L = diag(2, 3); L y = (2, 6) => y = (1, 2).
+  std::vector<double> Y = F->solveLower({2.0, 6.0});
+  EXPECT_NEAR(Y[0], 1.0, 1e-14);
+  EXPECT_NEAR(Y[1], 2.0, 1e-14);
+}

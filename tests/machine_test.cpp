@@ -1,0 +1,193 @@
+//===- tests/machine_test.cpp - cost-model behaviour ----------*- C++ -*-===//
+//
+// The analytic machine model is the reproduction's ground truth, so these
+// tests pin down the qualitative shapes the paper depends on: unrolling
+// amortizes loop overhead, register-tile blowups spill, recurrences climb
+// under unrolling (Figure 2), cache tiles move reuse into faster levels,
+// and compile time grows with unrolled code size.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/CostModel.h"
+#include "spapt/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace alic;
+
+namespace {
+
+TransformPlan planWith(LoopVarId Var, int Unroll, int Tile = 1, int Rt = 1) {
+  TransformPlan P;
+  P.factorsMut(Var).Unroll = Unroll;
+  P.factorsMut(Var).CacheTile = Tile;
+  P.factorsMut(Var).RegisterTile = Rt;
+  return P;
+}
+
+} // namespace
+
+TEST(CostModelTest, DeterministicEvaluation) {
+  KernelBundle B = buildMm(512);
+  CostModel M;
+  TransformPlan P = planWith(2, 4);
+  EXPECT_EQ(M.evaluate(B.K, P).RuntimeSeconds,
+            M.evaluate(B.K, P).RuntimeSeconds);
+}
+
+TEST(CostModelTest, RuntimePositiveAndFinite) {
+  CostModel M;
+  for (int64_t N : {64, 256, 1024}) {
+    KernelBundle B = buildMm(N);
+    CostBreakdown C = M.evaluate(B.K, TransformPlan());
+    EXPECT_GT(C.RuntimeSeconds, 0.0);
+    EXPECT_TRUE(std::isfinite(C.RuntimeSeconds));
+    EXPECT_GT(C.CompileSeconds, 0.0);
+  }
+}
+
+TEST(CostModelTest, RuntimeScalesWithProblemSize) {
+  CostModel M;
+  double T256 = M.runtimeSeconds(buildMm(256).K, TransformPlan());
+  double T512 = M.runtimeSeconds(buildMm(512).K, TransformPlan());
+  // Work grows 8x; allow the memory terms to bend the exponent.
+  EXPECT_GT(T512, 4.0 * T256);
+}
+
+TEST(CostModelTest, InnermostUnrollAmortizesOverhead) {
+  KernelBundle B = buildMm(512);
+  CostModel M;
+  CostBreakdown U1 = M.evaluate(B.K, planWith(2, 1));
+  CostBreakdown U8 = M.evaluate(B.K, planWith(2, 8));
+  EXPECT_LT(U8.LoopOverheadCycles, U1.LoopOverheadCycles);
+}
+
+TEST(CostModelTest, RecurrenceClimbsAndPlateausUnderUnrolling) {
+  // adi's row sweep carries a recurrence along j1 (paper Figure 2): more
+  // unrolling must not help, and must eventually cost more.
+  KernelBundle B = buildAdi(1000, 90);
+  CostModel M;
+  double TBase = M.runtimeSeconds(B.K, TransformPlan());
+  double T10 = M.runtimeSeconds(B.K, planWith(2, 10));
+  double T20 = M.runtimeSeconds(B.K, planWith(2, 20));
+  double T30 = M.runtimeSeconds(B.K, planWith(2, 30));
+  EXPECT_GT(T10, TBase);            // climb
+  EXPECT_GT(T30, TBase);
+  EXPECT_NEAR(T30 / T20, 1.0, 0.1); // plateau
+}
+
+TEST(CostModelTest, RegisterTileBlowupSpills) {
+  KernelBundle B = buildBicgkernel(2048);
+  CostModel M;
+  TransformPlan Mild;
+  Mild.factorsMut(0).RegisterTile = 2;
+  Mild.factorsMut(1).RegisterTile = 2;
+  TransformPlan Blowup;
+  Blowup.factorsMut(0).RegisterTile = 30;
+  Blowup.factorsMut(1).RegisterTile = 30;
+  CostBreakdown CM = M.evaluate(B.K, Mild);
+  CostBreakdown CB = M.evaluate(B.K, Blowup);
+  EXPECT_GT(CB.SpillCycles, 10.0 * CM.SpillCycles);
+  EXPECT_GT(CB.RuntimeSeconds, CM.RuntimeSeconds);
+}
+
+TEST(CostModelTest, GoodCacheTileReducesMemoryCycles) {
+  // Untiled mm at N=1024 streams B from memory; a 64x64x64 tile band fits
+  // the working set in cache.
+  KernelBundle B = buildMm(1024);
+  CostModel M;
+  TransformPlan Tiled;
+  Tiled.factorsMut(0).CacheTile = 64;
+  Tiled.factorsMut(1).CacheTile = 64;
+  Tiled.factorsMut(2).CacheTile = 64;
+  CostBreakdown Untiled = M.evaluate(B.K, TransformPlan());
+  CostBreakdown WithTile = M.evaluate(B.K, Tiled);
+  EXPECT_LT(WithTile.MemoryCycles, 0.5 * Untiled.MemoryCycles);
+  EXPECT_LT(WithTile.RuntimeSeconds, Untiled.RuntimeSeconds);
+}
+
+TEST(CostModelTest, CompileTimeGrowsWithUnrolledCodeSize) {
+  KernelBundle B = buildMm(512);
+  CostModel M;
+  TransformPlan Heavy;
+  Heavy.factorsMut(0).Unroll = 30;
+  Heavy.factorsMut(1).Unroll = 30;
+  Heavy.factorsMut(2).Unroll = 30;
+  CostBreakdown Base = M.evaluate(B.K, TransformPlan());
+  CostBreakdown Expanded = M.evaluate(B.K, Heavy);
+  EXPECT_GT(Expanded.CodeStmts, 1000.0);
+  EXPECT_GT(Expanded.CompileSeconds, 10.0 * Base.CompileSeconds);
+}
+
+TEST(CostModelTest, FrontEndPenaltyOnlyForLargeBodies) {
+  KernelBundle B = buildMm(512);
+  CostModel M;
+  CostBreakdown Small = M.evaluate(B.K, planWith(2, 4));
+  EXPECT_EQ(Small.FrontEndCycles, 0.0);
+  TransformPlan Heavy;
+  Heavy.factorsMut(1).Unroll = 30;
+  Heavy.factorsMut(2).Unroll = 30;
+  CostBreakdown Large = M.evaluate(B.K, Heavy);
+  EXPECT_GT(Large.FrontEndCycles, 0.0);
+}
+
+TEST(CostModelTest, BreakdownSumsToTotal) {
+  KernelBundle B = buildGemver(1024);
+  CostModel M;
+  CostBreakdown C = M.evaluate(B.K, planWith(1, 4, 32, 2));
+  EXPECT_NEAR(C.TotalCycles,
+              C.ComputeCycles + C.LoopOverheadCycles + C.SpillCycles +
+                  C.MemoryCycles + C.FrontEndCycles,
+              1e-6 * C.TotalCycles);
+  EXPECT_NEAR(C.RuntimeSeconds,
+              C.TotalCycles / (M.machine().FrequencyGHz * 1e9),
+              1e-12 * C.RuntimeSeconds);
+}
+
+TEST(CostModelTest, ReductionBenefitsFromRegisterTiling) {
+  // mvt's inner product is chain-bound; register tiling introduces
+  // independent partial accumulators.
+  KernelBundle B = buildMvt(4000);
+  CostModel M;
+  TransformPlan Rt;
+  Rt.factorsMut(1).RegisterTile = 4; // i2: the reduction loop
+  CostBreakdown Base = M.evaluate(B.K, TransformPlan());
+  CostBreakdown Tiled = M.evaluate(B.K, Rt);
+  EXPECT_LT(Tiled.ComputeCycles, Base.ComputeCycles);
+}
+
+class SuiteCostSanityTest : public testing::TestWithParam<const char *> {};
+
+TEST_P(SuiteCostSanityTest, RandomPlansStayFiniteAndPositive) {
+  KernelBundle B = [&] {
+    std::string N = GetParam();
+    if (N == "mm")
+      return buildMm(512);
+    if (N == "mvt")
+      return buildMvt(4000);
+    if (N == "jacobi")
+      return buildJacobi(2000, 20);
+    if (N == "lu")
+      return buildLu(900);
+    return buildGemver(4500);
+  }();
+  ParamSpace Space(B.Params);
+  CostModel M;
+  Rng R(77);
+  for (int I = 0; I != 50; ++I) {
+    Config C = Space.sample(R);
+    TransformPlan Plan = TransformPlan::fromConfig(Space, C);
+    CostBreakdown Cost = M.evaluate(B.K, Plan);
+    ASSERT_TRUE(std::isfinite(Cost.RuntimeSeconds));
+    ASSERT_GT(Cost.RuntimeSeconds, 0.0);
+    ASSERT_LT(Cost.RuntimeSeconds, 500.0);
+    ASSERT_GT(Cost.CompileSeconds, 0.0);
+    ASSERT_LT(Cost.CompileSeconds, 300.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, SuiteCostSanityTest,
+                         testing::Values("mm", "mvt", "jacobi", "lu",
+                                         "gemver"));

@@ -1,0 +1,83 @@
+//===- tests/model_test.cpp - surrogate-interface + kNN tests -*- C++ -*-===//
+
+#include "dynatree/DynaTree.h"
+#include "model/KnnModel.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace alic;
+
+TEST(KnnModelTest, ExactAtTrainingPoints) {
+  KnnModel M(1);
+  M.fit({{0.0}, {1.0}, {2.0}}, {5.0, 7.0, 9.0});
+  EXPECT_NEAR(M.predict({1.0}).Mean, 7.0, 1e-6);
+  EXPECT_NEAR(M.predict({2.0}).Mean, 9.0, 1e-6);
+}
+
+TEST(KnnModelTest, InterpolatesBetweenNeighbours) {
+  KnnModel M(2);
+  M.fit({{0.0}, {1.0}}, {0.0, 10.0});
+  double Mid = M.predict({0.5}).Mean;
+  EXPECT_GT(Mid, 2.0);
+  EXPECT_LT(Mid, 8.0);
+}
+
+TEST(KnnModelTest, VarianceReflectsNeighbourDisagreement) {
+  KnnModel M(3);
+  // Agreeing cluster on the left, wildly disagreeing one on the right.
+  M.fit({{-1.0}, {-1.1}, {-0.9}, {1.0}, {1.1}, {0.9}},
+        {2.0, 2.0, 2.0, 0.0, 10.0, 5.0});
+  EXPECT_GT(M.predict({1.0}).Variance, M.predict({-1.0}).Variance);
+}
+
+TEST(KnnModelTest, UpdateAddsPoints) {
+  KnnModel M(1);
+  M.fit({{0.0}}, {1.0});
+  M.update({5.0}, 9.0);
+  EXPECT_EQ(M.numObservations(), 2u);
+  EXPECT_NEAR(M.predict({5.0}).Mean, 9.0, 1e-6);
+}
+
+TEST(KnnModelTest, AlmFallbackScoresMatchVariance) {
+  KnnModel M(3);
+  M.fit({{0.0}, {0.1}, {2.0}, {2.1}}, {1.0, 1.0, 4.0, 8.0});
+  std::vector<std::vector<double>> Cands = {{0.05}, {2.05}};
+  std::vector<double> Alm = M.almScores(Cands);
+  EXPECT_DOUBLE_EQ(Alm[0], M.predict(Cands[0]).Variance);
+  EXPECT_DOUBLE_EQ(Alm[1], M.predict(Cands[1]).Variance);
+  // The default ALC falls back to ALM for models without a closed form.
+  std::vector<double> Alc = M.alcScores(Cands, Cands);
+  EXPECT_EQ(Alc, Alm);
+}
+
+TEST(ModelComparisonTest, DynaTreeBeatsKnnOnStructuredNoise) {
+  // On a heteroskedastic step function with many samples, the Bayesian
+  // tree's pooled leaves average noise away; 1-NN chases it.
+  Rng R(21);
+  auto Fn = [](double X) { return X < 0.0 ? 1.0 : 4.0; };
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  for (int I = 0; I != 400; ++I) {
+    double V = R.nextUniform(-1, 1);
+    X.push_back({V});
+    Y.push_back(Fn(V) + 0.4 * R.nextGaussian());
+  }
+  DynaTreeConfig C;
+  C.NumParticles = 150;
+  DynaTree Tree(C);
+  Tree.fit(X, Y);
+  KnnModel Knn(1);
+  Knn.fit(X, Y);
+
+  double TreeSe = 0.0, KnnSe = 0.0;
+  for (int I = 0; I != 200; ++I) {
+    double V = R.nextUniform(-0.9, 0.9);
+    double T = Fn(V);
+    TreeSe += std::pow(Tree.predict({V}).Mean - T, 2);
+    KnnSe += std::pow(Knn.predict({V}).Mean - T, 2);
+  }
+  EXPECT_LT(TreeSe, KnnSe);
+}

@@ -1,0 +1,340 @@
+//===- tests/support_test.cpp - support/ unit tests -----------*- C++ -*-===//
+
+#include "support/BigUInt.h"
+#include "support/Env.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+#include "support/Table.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+using namespace alic;
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 2);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng R(7);
+  for (uint64_t Bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int I = 0; I != 200; ++I)
+      EXPECT_LT(R.nextBounded(Bound), Bound);
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng R(11);
+  const int Buckets = 8, Draws = 80000;
+  int Counts[Buckets] = {0};
+  for (int I = 0; I != Draws; ++I)
+    ++Counts[R.nextBounded(Buckets)];
+  for (int C : Counts)
+    EXPECT_NEAR(double(C), Draws / double(Buckets), 0.05 * Draws / Buckets);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng R(3);
+  for (int I = 0; I != 1000; ++I) {
+    double X = R.nextDouble();
+    EXPECT_GE(X, 0.0);
+    EXPECT_LT(X, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng R(5);
+  double Sum = 0.0, Sum2 = 0.0;
+  const int N = 200000;
+  for (int I = 0; I != N; ++I) {
+    double G = R.nextGaussian();
+    Sum += G;
+    Sum2 += G * G;
+  }
+  EXPECT_NEAR(Sum / N, 0.0, 0.02);
+  EXPECT_NEAR(Sum2 / N, 1.0, 0.03);
+}
+
+TEST(RngTest, GammaMeanMatchesShape) {
+  Rng R(9);
+  for (double Shape : {0.5, 1.0, 2.5, 8.0}) {
+    double Sum = 0.0;
+    const int N = 60000;
+    for (int I = 0; I != N; ++I)
+      Sum += R.nextGamma(Shape);
+    EXPECT_NEAR(Sum / N, Shape, 0.06 * Shape + 0.02);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng R(13);
+  double Sum = 0.0;
+  const int N = 100000;
+  for (int I = 0; I != N; ++I)
+    Sum += R.nextExponential(2.5);
+  EXPECT_NEAR(Sum / N, 2.5, 0.08);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng R(17);
+  int Hits = 0;
+  const int N = 100000;
+  for (int I = 0; I != N; ++I)
+    Hits += R.nextBernoulli(0.3);
+  EXPECT_NEAR(double(Hits) / N, 0.3, 0.01);
+}
+
+TEST(RngTest, SampleIndicesAreDistinctAndInRange) {
+  Rng R(21);
+  for (size_t N : {10ul, 100ul, 1000ul}) {
+    for (size_t K : {1ul, 5ul, N / 2, N}) {
+      std::vector<size_t> S = R.sampleIndices(N, K);
+      EXPECT_EQ(S.size(), std::min(N, K));
+      std::set<size_t> Unique(S.begin(), S.end());
+      EXPECT_EQ(Unique.size(), S.size());
+      for (size_t V : S)
+        EXPECT_LT(V, N);
+    }
+  }
+}
+
+TEST(RngTest, SampleIndicesFullPermutation) {
+  Rng R(23);
+  std::vector<size_t> S = R.sampleIndices(50, 50);
+  std::set<size_t> Unique(S.begin(), S.end());
+  EXPECT_EQ(Unique.size(), 50u);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng A(31);
+  Rng Child = A.split();
+  // The child stream must not track the parent.
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    Same += A.next() == Child.next();
+  EXPECT_LT(Same, 2);
+}
+
+TEST(RngTest, HashCombineSensitiveToOrder) {
+  EXPECT_NE(hashCombine({1, 2}), hashCombine({2, 1}));
+  EXPECT_NE(hashCombine({1}), hashCombine({1, 0}));
+  EXPECT_EQ(hashCombine({5, 6, 7}), hashCombine({5, 6, 7}));
+}
+
+//===----------------------------------------------------------------------===//
+// BigUInt
+//===----------------------------------------------------------------------===//
+
+TEST(BigUIntTest, ConstructAndToString) {
+  EXPECT_EQ(BigUInt().toString(), "0");
+  EXPECT_EQ(BigUInt(1).toString(), "1");
+  EXPECT_EQ(BigUInt(123456789).toString(), "123456789");
+  EXPECT_EQ(BigUInt(~0ull).toString(), "18446744073709551615");
+}
+
+TEST(BigUIntTest, AdditionMatchesU64) {
+  Rng R(1);
+  for (int I = 0; I != 500; ++I) {
+    uint64_t A = R.next() >> 2, B = R.next() >> 2;
+    EXPECT_EQ((BigUInt(A) + BigUInt(B)).toU64(), A + B);
+  }
+}
+
+TEST(BigUIntTest, MultiplicationMatchesU128) {
+  Rng R(2);
+  for (int I = 0; I != 500; ++I) {
+    uint64_t A = R.next() >> 32, B = R.next() >> 32;
+    __uint128_t Expect = static_cast<__uint128_t>(A) * B;
+    BigUInt Got = BigUInt(A) * BigUInt(B);
+    EXPECT_EQ(Got.toU64(), static_cast<uint64_t>(Expect));
+  }
+}
+
+TEST(BigUIntTest, MulScalarChain) {
+  // 2^96 via repeated scalar multiplication.
+  BigUInt V(1);
+  for (int I = 0; I != 96; ++I)
+    V.mulScalar(2);
+  EXPECT_EQ(V.toString(), "79228162514264337593543950336");
+}
+
+TEST(BigUIntTest, DivModScalarRoundTrip) {
+  Rng R(3);
+  for (int I = 0; I != 200; ++I) {
+    uint64_t A = R.next();
+    uint32_t D = static_cast<uint32_t>(R.nextBounded(1000000) + 1);
+    BigUInt V(A);
+    uint32_t Rem = V.divModScalar(D);
+    EXPECT_EQ(Rem, A % D);
+    EXPECT_EQ(V.toU64(), A / D);
+  }
+}
+
+TEST(BigUIntTest, Comparisons) {
+  EXPECT_LT(BigUInt(5), BigUInt(7));
+  EXPECT_GT(BigUInt(1) * BigUInt(1ull << 40) * BigUInt(1ull << 40),
+            BigUInt(~0ull));
+  EXPECT_EQ(BigUInt(42), BigUInt(42));
+}
+
+TEST(BigUIntTest, ToDoubleApproximation) {
+  BigUInt V(1);
+  for (int I = 0; I != 90; ++I)
+    V.mulScalar(10);
+  EXPECT_NEAR(V.toDouble() / 1e90, 1.0, 1e-9);
+}
+
+TEST(BigUIntTest, ToScientific) {
+  BigUInt V(378);
+  for (int I = 0; I != 12; ++I)
+    V.mulScalar(10);
+  EXPECT_EQ(V.toScientific(3), "3.78e14");
+  EXPECT_EQ(BigUInt(0).toScientific(3), "0");
+  EXPECT_EQ(BigUInt(7).toScientific(1), "7e0");
+}
+
+TEST(BigUIntTest, AddScalarCarries) {
+  BigUInt V(0xFFFFFFFFull);
+  V.addScalar(1);
+  EXPECT_EQ(V.toU64(), 0x100000000ull);
+}
+
+//===----------------------------------------------------------------------===//
+// Format
+//===----------------------------------------------------------------------===//
+
+TEST(FormatTest, FormatString) {
+  EXPECT_EQ(formatString("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(formatString("%.2f", 1.005), "1.00");
+}
+
+TEST(FormatTest, PaperNumberRanges) {
+  EXPECT_EQ(formatPaperNumber(0.0), "0");
+  EXPECT_EQ(formatPaperNumber(57.46), "57.46");
+  EXPECT_EQ(formatPaperNumber(26200.0), "2.62e4");
+  EXPECT_EQ(formatPaperNumber(0.0001), "1.00e-4");
+}
+
+TEST(FormatTest, Seconds) {
+  EXPECT_EQ(formatSeconds(0.5e-6), "500.0 ns");
+  EXPECT_EQ(formatSeconds(0.0123), "12.3 ms");
+  EXPECT_EQ(formatSeconds(90.0), "90.00 s");
+  EXPECT_EQ(formatSeconds(3600.0), "60.0 min");
+}
+
+TEST(FormatTest, PadAndJoin) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcde", 3), "abcde");
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(joinStrings({}, ","), "");
+}
+
+//===----------------------------------------------------------------------===//
+// Table
+//===----------------------------------------------------------------------===//
+
+TEST(TableTest, CsvEscaping) {
+  Table T({"a", "b"});
+  T.addRow({"x,y", "he said \"hi\""});
+  std::string Csv = T.toCsv();
+  EXPECT_NE(Csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(Csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, RowCount) {
+  Table T({"h"});
+  EXPECT_EQ(T.numRows(), 0u);
+  T.addRow({"1"});
+  T.addRow({"2"});
+  EXPECT_EQ(T.numRows(), 2u);
+}
+
+TEST(TableTest, WriteCsvRoundTrip) {
+  Table T({"x", "y"});
+  T.addRow({"1", "2"});
+  std::string Path = testing::TempDir() + "/alic_table_test.csv";
+  ASSERT_TRUE(T.writeCsv(Path));
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(F, nullptr);
+  char Buf[64] = {0};
+  ASSERT_NE(std::fgets(Buf, sizeof(Buf), F), nullptr);
+  EXPECT_STREQ(Buf, "x,y\n");
+  std::fclose(F);
+}
+
+//===----------------------------------------------------------------------===//
+// Env
+//===----------------------------------------------------------------------===//
+
+TEST(EnvTest, StringDefault) {
+  unsetenv("ALIC_TEST_VAR");
+  EXPECT_EQ(getEnvString("ALIC_TEST_VAR", "dflt"), "dflt");
+  setenv("ALIC_TEST_VAR", "value", 1);
+  EXPECT_EQ(getEnvString("ALIC_TEST_VAR", "dflt"), "value");
+  unsetenv("ALIC_TEST_VAR");
+}
+
+TEST(EnvTest, IntParsing) {
+  setenv("ALIC_TEST_INT", "123", 1);
+  EXPECT_EQ(getEnvInt("ALIC_TEST_INT", 7), 123);
+  setenv("ALIC_TEST_INT", "garbage", 1);
+  EXPECT_EQ(getEnvInt("ALIC_TEST_INT", 7), 7);
+  unsetenv("ALIC_TEST_INT");
+}
+
+TEST(EnvTest, ScalePresetNames) {
+  EXPECT_STREQ(scaleName(ScaleKind::Smoke), "smoke");
+  EXPECT_STREQ(scaleName(ScaleKind::Bench), "bench");
+  EXPECT_STREQ(scaleName(ScaleKind::Paper), "paper");
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool Pool(4);
+  std::atomic<int> Counter{0};
+  for (int I = 0; I != 100; ++I)
+    Pool.submit([&Counter] { ++Counter; });
+  Pool.waitAll();
+  EXPECT_EQ(Counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool Pool(3);
+  std::vector<std::atomic<int>> Hits(64);
+  Pool.parallelFor(64, [&Hits](size_t I) { ++Hits[I]; });
+  for (auto &H : Hits)
+    EXPECT_EQ(H.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  ThreadPool Pool(2);
+  std::atomic<int> Counter{0};
+  Pool.submit([&] { ++Counter; });
+  Pool.waitAll();
+  Pool.submit([&] { ++Counter; });
+  Pool.waitAll();
+  EXPECT_EQ(Counter.load(), 2);
+}
