@@ -33,11 +33,11 @@ const char *SamplingPlan::name() const {
 ActiveLearner::ActiveLearner(const WorkloadOracle &Oracle,
                              SurrogateModel &Model, Normalizer Norm,
                              std::vector<Config> Pool, SamplingPlan Plan,
-                             ActiveLearnerConfig Cfg)
+                             ActiveLearnerConfig Cfg, ThreadPool *Workers)
     : Oracle(Oracle), Model(Model), Norm(std::move(Norm)),
       Pool(std::move(Pool)), Plan(Plan), Cfg(Cfg),
       Prof(Oracle, hashCombine({Cfg.Seed, 0x50524f46ull})),
-      Generator(Cfg.Seed) {
+      Generator(Cfg.Seed), Workers(Workers) {
   assert(!this->Pool.empty() && "training pool must not be empty");
   assert(Cfg.NumInitial >= 1 && "need at least one seed example");
   Unseen.resize(this->Pool.size());
@@ -81,13 +81,16 @@ bool ActiveLearner::done() const {
   return Unseen.empty() && Revisitable.empty();
 }
 
-bool ActiveLearner::step() {
+bool ActiveLearner::step() { return step(std::max(1u, Cfg.BatchSize)); }
+
+bool ActiveLearner::step(unsigned Batch) {
   if (!Seeded) {
     seed();
     return true;
   }
   if (done())
     return false;
+  Batch = std::max(1u, Batch);
 
   // --- Assemble the candidate set (Alg. 1 lines 7-11) -------------------
   // nc never-observed configurations ...
@@ -109,8 +112,14 @@ bool ActiveLearner::step() {
     return false;
 
   // --- Score the candidates (Alg. 1 lines 12-20) ------------------------
+  // The scoring context derives its seed from the loop position alone, so
+  // installing a thread pool (or changing its size) can never perturb the
+  // learner's random streams.
+  ScoreContext Ctx;
+  Ctx.Pool = Workers;
+  Ctx.Seed = hashCombine({Cfg.Seed, uint64_t(Stats.Iterations), 0xa1cull});
+
   std::vector<size_t> Chosen;
-  unsigned Batch = std::max(1u, Cfg.BatchSize);
   if (Cfg.Scorer == ScorerKind::Random) {
     std::vector<size_t> Order =
         Generator.sampleIndices(Candidates.size(),
@@ -124,7 +133,7 @@ bool ActiveLearner::step() {
 
     std::vector<double> Scores;
     if (Cfg.Scorer == ScorerKind::Alm) {
-      Scores = Model.almScores(CandFeatures);
+      Scores = Model.almScores(CandFeatures, Ctx);
     } else {
       // Reference sample over which the average variance is minimized.
       unsigned NumRef = std::min<size_t>(Cfg.ReferenceSetSize,
@@ -133,7 +142,7 @@ bool ActiveLearner::step() {
       Ref.reserve(NumRef);
       for (size_t Slot : Generator.sampleIndices(Pool.size(), NumRef))
         Ref.push_back(featuresOf(Pool[Slot]));
-      Scores = Model.alcScores(CandFeatures, Ref);
+      Scores = Model.alcScores(CandFeatures, Ref, Ctx);
     }
 
     // Top-Batch scores (selecting several examples per loop iteration is

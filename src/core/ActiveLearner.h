@@ -39,6 +39,8 @@
 
 namespace alic {
 
+class ThreadPool;
+
 /// How many observations each selected training example receives.
 struct SamplingPlan {
   enum class Kind {
@@ -95,14 +97,26 @@ class ActiveLearner {
 public:
   /// \p Pool is the set F of configurations available for training;
   /// \p Norm maps raw feature vectors to model space.  The model must be
-  /// unfitted; seeding happens on the first step().
+  /// unfitted; seeding happens on the first step().  When \p Workers is
+  /// non-null, candidate scoring is sharded across it; the loop's results
+  /// are bit-identical with or without a pool, at any thread count.
   ActiveLearner(const WorkloadOracle &Oracle, SurrogateModel &Model,
                 Normalizer Norm, std::vector<Config> Pool, SamplingPlan Plan,
-                ActiveLearnerConfig Cfg);
+                ActiveLearnerConfig Cfg, ThreadPool *Workers = nullptr);
 
-  /// Runs one loop iteration (the first call performs the seeding phase).
-  /// Returns false when the completion criterion is met.
+  /// Runs one loop iteration (the first call performs the seeding phase)
+  /// labelling Cfg.BatchSize examples.  Returns false when the completion
+  /// criterion is met.
   bool step();
+
+  /// Runs one loop iteration labelling up to \p Batch top-scored
+  /// candidates (the parallel variant the paper describes after Alg. 1).
+  /// Every labelled example is charged to the Profiler ledger and counted
+  /// in stats() exactly as in the one-at-a-time path.
+  bool step(unsigned Batch);
+
+  /// Installs (or removes, with nullptr) the scoring thread pool.
+  void setThreadPool(ThreadPool *Workers) { this->Workers = Workers; }
 
   /// True when nmax training examples have been absorbed.
   bool done() const;
@@ -127,6 +141,7 @@ private:
   ActiveLearnerConfig Cfg;
   Profiler Prof;
   Rng Generator;
+  ThreadPool *Workers = nullptr;
 
   /// Indices into Pool that have never been selected.
   std::vector<uint32_t> Unseen;

@@ -4,6 +4,7 @@
 
 #include "stats/Distributions.h"
 #include "support/Error.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -414,39 +415,42 @@ Prediction DynaTree::predict(const std::vector<double> &X) const {
   return Out;
 }
 
-std::vector<double> DynaTree::almScores(
-    const std::vector<std::vector<double>> &Candidates) const {
-  std::vector<double> Scores;
-  Scores.reserve(Candidates.size());
-  for (const auto &X : Candidates)
-    Scores.push_back(predict(X).Variance);
-  return Scores;
-}
-
 std::vector<double> DynaTree::alcScores(
     const std::vector<std::vector<double>> &Candidates,
-    const std::vector<std::vector<double>> &Reference) const {
+    const std::vector<std::vector<double>> &Reference,
+    const ScoreContext &Ctx) const {
   assert(!Particles.empty() && "model not fitted");
-  // Per particle: count reference points per leaf once, then each
-  // candidate's score is refCount(leaf) * expected variance drop — the
-  // closed form of Cohn's ALC under constant leaves.
-  std::vector<double> Scores(Candidates.size(), 0.0);
-  std::vector<uint32_t> RefCount;
-  for (const Particle &P : Particles) {
-    RefCount.assign(P.Nodes.size(), 0);
-    for (const auto &R : Reference)
-      ++RefCount[size_t(findLeaf(P, R))];
-    for (size_t C = 0; C != Candidates.size(); ++C) {
-      int32_t Leaf = findLeaf(P, Candidates[C]);
-      if (RefCount[size_t(Leaf)] == 0)
-        continue;
-      Scores[C] += double(RefCount[size_t(Leaf)]) *
-                   leafVarianceDrop(P.Nodes[size_t(Leaf)]);
+  // Each candidate's score is the particle average of refCount(leaf) *
+  // expected variance drop — the closed form of Cohn's ALC under constant
+  // leaves.  The reference occupancy of every particle's leaves is
+  // candidate-independent, so it is computed once up front (one disjoint
+  // write per particle); candidates then accumulate over particles in
+  // index order, matching the sequential summation order bit-for-bit.
+  size_t Np = Particles.size();
+  std::vector<std::vector<uint32_t>> RefCounts(Np);
+  shardedFor(Ctx.Pool, Np, 8, [&](size_t, size_t Begin, size_t End) {
+    for (size_t P = Begin; P != End; ++P) {
+      RefCounts[P].assign(Particles[P].Nodes.size(), 0);
+      for (const auto &R : Reference)
+        ++RefCounts[P][size_t(findLeaf(Particles[P], R))];
     }
-  }
-  double Np = double(Particles.size());
-  for (double &S : Scores)
-    S /= Np;
+  });
+
+  std::vector<double> Scores(Candidates.size(), 0.0);
+  shardedFor(Ctx.Pool, Candidates.size(), Ctx.ShardSize,
+             [&](size_t, size_t Begin, size_t End) {
+    for (size_t C = Begin; C != End; ++C) {
+      double Total = 0.0;
+      for (size_t P = 0; P != Np; ++P) {
+        int32_t Leaf = findLeaf(Particles[P], Candidates[C]);
+        uint32_t Count = RefCounts[P][size_t(Leaf)];
+        if (Count != 0)
+          Total += double(Count) *
+                   leafVarianceDrop(Particles[P].Nodes[size_t(Leaf)]);
+      }
+      Scores[C] = Total / double(Np);
+    }
+  });
   return Scores;
 }
 

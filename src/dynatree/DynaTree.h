@@ -78,10 +78,9 @@ public:
   void update(const std::vector<double> &X, double Y) override;
   Prediction predict(const std::vector<double> &X) const override;
   std::vector<double>
-  almScores(const std::vector<std::vector<double>> &Candidates) const override;
-  std::vector<double>
   alcScores(const std::vector<std::vector<double>> &Candidates,
-            const std::vector<std::vector<double>> &Reference) const override;
+            const std::vector<std::vector<double>> &Reference,
+            const ScoreContext &Ctx = ScoreContext()) const override;
   size_t numObservations() const override { return DataX.size(); }
 
   /// Ensemble diagnostics (tests, benches).

@@ -72,7 +72,8 @@ RunResult alic::runLearning(const SpaptBenchmark &B, const Dataset &D,
   Cfg.BatchSize = Options.BatchSize;
   Cfg.Seed = Seed;
 
-  ActiveLearner Learner(Oracle, *Model, D.Norm, D.TrainPool, Plan, Cfg);
+  ActiveLearner Learner(Oracle, *Model, D.Norm, D.TrainPool, Plan, Cfg,
+                        Options.Workers);
 
   // Fixed evaluation subset, identical across plans and seeds.
   size_t NumEval = std::min(S.TestSubset, D.TestFeatures.size());

@@ -51,6 +51,9 @@ struct RunOptions {
   /// Multiplies every drawn measurement's noise (future-work experiment);
   /// 1.0 = the benchmark's calibrated noise.
   double NoiseScale = 1.0;
+  /// Shards candidate scoring across these workers when non-null; curves
+  /// are bit-identical with or without a pool.
+  ThreadPool *Workers = nullptr;
 };
 
 /// Runs one learning experiment (single seed).

@@ -4,6 +4,7 @@
 
 #include "support/Error.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 #include <cmath>
@@ -18,6 +19,24 @@ double GaussianProcess::kernel(const std::vector<double> &A,
   double D2 = squaredDistance(A, B);
   return Params.SignalVariance *
          std::exp(-0.5 * D2 / (Params.LengthScale * Params.LengthScale));
+}
+
+double GaussianProcess::recomputeWeights() {
+  size_t N = DataX.size();
+  double Sum = 0.0;
+  for (double Yi : DataY)
+    Sum += Yi;
+  MeanY = Sum / double(N);
+  std::vector<double> Centered(N);
+  for (size_t I = 0; I != N; ++I)
+    Centered[I] = DataY[I] - MeanY;
+  Alpha = Factor->solve(Centered);
+  double Fit = 0.0;
+  for (size_t I = 0; I != N; ++I)
+    Fit += Centered[I] * Alpha[I];
+  LogMl = -0.5 * Fit - 0.5 * Factor->logDeterminant() -
+          0.5 * double(N) * std::log(2.0 * M_PI);
+  return LogMl;
 }
 
 double GaussianProcess::refitWith(const GpHyperParams &P) {
@@ -35,19 +54,40 @@ double GaussianProcess::refitWith(const GpHyperParams &P) {
   Factor = Cholesky::factorize(K);
   if (!Factor)
     return -1e300; // not PD under these hyperparameters
-  std::vector<double> Centered(N);
-  for (size_t I = 0; I != N; ++I)
-    Centered[I] = DataY[I] - MeanY;
-  Alpha = Factor->solve(Centered);
-  double Fit = 0.0;
-  for (size_t I = 0; I != N; ++I)
-    Fit += Centered[I] * Alpha[I];
-  LogMl = -0.5 * Fit - 0.5 * Factor->logDeterminant() -
-          0.5 * double(N) * std::log(2.0 * M_PI);
-  return LogMl;
+  return recomputeWeights();
 }
 
 void GaussianProcess::refit() { refitWith(Params); }
+
+void GaussianProcess::updateIncremental() {
+  size_t N = DataX.size(); // includes the point just pushed
+  if (!Factor || Factor->size() != N - 1) {
+    // No factorization to extend (first data, or points buffered by a
+    // previous Deferred phase): fall back to the full solve.
+    refitWith(Params);
+    return;
+  }
+  const std::vector<double> &X = DataX.back();
+  std::vector<double> Border(N - 1);
+  for (size_t I = 0; I != N - 1; ++I)
+    Border[I] = kernel(X, DataX[I]);
+  double Diag = kernel(X, X) + Params.NoiseVariance + 1e-10;
+  if (!Factor->extend(Border, Diag)) {
+    // Numerically non-PD border: fall back to a full refactorization.
+    // If even that fails (e.g. a non-finite feature), drop the offending
+    // observation and restore the previous factor rather than leave the
+    // model unusable.
+    std::optional<Cholesky> Saved = Factor;
+    refitWith(Params);
+    if (!Factor) {
+      DataX.pop_back();
+      DataY.pop_back();
+      Factor = std::move(Saved);
+    }
+    return;
+  }
+  recomputeWeights();
+}
 
 void GaussianProcess::fit(const std::vector<std::vector<double>> &X,
                           const std::vector<double> &Y) {
@@ -91,13 +131,23 @@ void GaussianProcess::fit(const std::vector<std::vector<double>> &X,
 void GaussianProcess::update(const std::vector<double> &X, double Y) {
   DataX.push_back(X);
   DataY.push_back(Y);
-  if (Config.RefitOnUpdate)
+  switch (Config.Update) {
+  case GpUpdateMode::Incremental:
+    updateIncremental();
+    break;
+  case GpUpdateMode::Refit:
     refitWith(Params); // the O(n^3) cost the paper's Section 3.2 dislikes
+    break;
+  case GpUpdateMode::Deferred:
+    break;
+  }
 }
 
 Prediction GaussianProcess::predict(const std::vector<double> &X) const {
   assert(Factor && "GP not fitted");
-  size_t N = DataX.size();
+  // Alpha (not DataX) bounds the fitted prefix: under Deferred updates
+  // the newest points are buffered and must not be indexed here.
+  size_t N = Alpha.size();
   std::vector<double> Ks(N);
   for (size_t I = 0; I != N; ++I)
     Ks[I] = kernel(X, DataX[I]);
@@ -116,31 +166,50 @@ Prediction GaussianProcess::predict(const std::vector<double> &X) const {
 
 std::vector<double> GaussianProcess::alcScores(
     const std::vector<std::vector<double>> &Candidates,
-    const std::vector<std::vector<double>> &Reference) const {
+    const std::vector<std::vector<double>> &Reference,
+    const ScoreContext &Ctx) const {
   assert(Factor && "GP not fitted");
   // Exact GP ALC: adding candidate x reduces Var(ref r) by
   //   cov(r, x | data)^2 / (var(x | data) + noise).
-  size_t N = DataX.size();
+  size_t N = Alpha.size(); // fitted prefix (see predict())
+
+  // The reference-to-data kernel rows are candidate-independent; computing
+  // them once turns the hot loop from O(nc * nr * n) kernel evaluations
+  // into O(nr * n), and each row is an independent write, so the sharded
+  // and sequential paths agree bitwise.
+  Matrix RefK(Reference.size(), N);
+  shardedFor(Ctx.Pool, Reference.size(), Ctx.ShardSize,
+             [&](size_t, size_t Begin, size_t End) {
+               for (size_t R = Begin; R != End; ++R)
+                 for (size_t I = 0; I != N; ++I)
+                   RefK.at(R, I) = kernel(Reference[R], DataX[I]);
+             });
+
+  // Candidates are scored in fixed-grid shards; every candidate's inner
+  // loops run in the same order as the sequential implementation, so the
+  // scores are bit-identical at any thread count.
   std::vector<double> Scores(Candidates.size(), 0.0);
-  for (size_t C = 0; C != Candidates.size(); ++C) {
-    const auto &X = Candidates[C];
-    std::vector<double> Kx(N);
-    for (size_t I = 0; I != N; ++I)
-      Kx[I] = kernel(X, DataX[I]);
-    std::vector<double> Wx = Factor->solve(Kx);
-    double VarX = Params.SignalVariance;
-    for (size_t I = 0; I != N; ++I)
-      VarX -= Kx[I] * Wx[I];
-    VarX = std::max(VarX, 1e-12) + Params.NoiseVariance;
-    double Total = 0.0;
-    for (const auto &Ref : Reference) {
-      double Krx = kernel(Ref, X);
-      double Cov = Krx;
+  shardedFor(Ctx.Pool, Candidates.size(), Ctx.ShardSize,
+             [&](size_t, size_t Begin, size_t End) {
+    for (size_t C = Begin; C != End; ++C) {
+      const auto &X = Candidates[C];
+      std::vector<double> Kx(N);
       for (size_t I = 0; I != N; ++I)
-        Cov -= kernel(Ref, DataX[I]) * Wx[I];
-      Total += Cov * Cov / VarX;
+        Kx[I] = kernel(X, DataX[I]);
+      std::vector<double> Wx = Factor->solve(Kx);
+      double VarX = Params.SignalVariance;
+      for (size_t I = 0; I != N; ++I)
+        VarX -= Kx[I] * Wx[I];
+      VarX = std::max(VarX, 1e-12) + Params.NoiseVariance;
+      double Total = 0.0;
+      for (size_t R = 0; R != Reference.size(); ++R) {
+        double Cov = kernel(Reference[R], X);
+        for (size_t I = 0; I != N; ++I)
+          Cov -= RefK.at(R, I) * Wx[I];
+        Total += Cov * Cov / VarX;
+      }
+      Scores[C] = Total;
     }
-    Scores[C] = Total;
-  }
+  });
   return Scores;
 }

@@ -31,6 +31,28 @@ std::optional<Cholesky> Cholesky::factorize(const Matrix &A) {
   return Cholesky(std::move(L));
 }
 
+bool Cholesky::extend(const std::vector<double> &B, double C) {
+  size_t N = L.rows();
+  assert(B.size() == N && "border size mismatch");
+  // New off-diagonal row: L21 solves L L21^T = B — the same recurrence
+  // factorize() applies to its last row.
+  std::vector<double> Row = solveLower(B);
+  double Diag = C;
+  for (size_t K = 0; K != N; ++K)
+    Diag -= Row[K] * Row[K];
+  if (Diag <= 0.0 || !std::isfinite(Diag))
+    return false;
+  Matrix Grown(N + 1, N + 1, 0.0);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = 0; J <= I; ++J)
+      Grown.at(I, J) = L.at(I, J);
+  for (size_t K = 0; K != N; ++K)
+    Grown.at(N, K) = Row[K];
+  Grown.at(N, N) = std::sqrt(Diag);
+  L = std::move(Grown);
+  return true;
+}
+
 std::vector<double> Cholesky::solveLower(const std::vector<double> &B) const {
   size_t N = L.rows();
   assert(B.size() == N && "rhs size mismatch");

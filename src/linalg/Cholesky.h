@@ -28,6 +28,16 @@ public:
   /// \p A is not (numerically) positive definite.
   static std::optional<Cholesky> factorize(const Matrix &A);
 
+  /// Grows the factor of an n x n matrix A to the factor of the bordered
+  /// (n+1) x (n+1) matrix [[A, B], [B^T, C]] in O(n^2) — the rank-1
+  /// extension that lets a GP absorb one observation without the O(n^3)
+  /// refactorization.  The new row is produced by the same recurrence, in
+  /// the same order, as factorize() would use, so the grown factor is
+  /// bit-identical to factorizing the bordered matrix from scratch.
+  /// Returns false (leaving the factor unchanged) if the bordered matrix
+  /// is not numerically positive definite.
+  bool extend(const std::vector<double> &B, double C);
+
   /// Solves A x = \p B via the factor.
   std::vector<double> solve(const std::vector<double> &B) const;
 
@@ -36,6 +46,9 @@ public:
 
   /// log(det A) = 2 * sum(log diag L).
   double logDeterminant() const;
+
+  /// Dimension of the factored matrix.
+  size_t size() const { return L.rows(); }
 
   /// The lower-triangular factor.
   const Matrix &factor() const { return L; }

@@ -4,6 +4,7 @@
 
 #include "linalg/Matrix.h"
 #include "support/Error.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -23,7 +24,8 @@ void KnnModel::update(const std::vector<double> &X, double Y) {
   DataY.push_back(Y);
 }
 
-Prediction KnnModel::predict(const std::vector<double> &X) const {
+KnnModel::NeighborStats
+KnnModel::neighborStats(const std::vector<double> &X) const {
   assert(!DataX.empty() && "k-NN model has no data");
   // Collect the K nearest points (partial selection on squared distance).
   size_t N = DataX.size();
@@ -33,21 +35,59 @@ Prediction KnnModel::predict(const std::vector<double> &X) const {
     Dist[I] = {squaredDistance(X, DataX[I]), I};
   std::partial_sort(Dist.begin(), Dist.begin() + long(Take), Dist.end());
 
-  double WeightSum = 0.0, Mean = 0.0;
+  NeighborStats S;
   for (size_t I = 0; I != Take; ++I) {
     double W = 1.0 / (Dist[I].first + Epsilon);
-    WeightSum += W;
-    Mean += W * DataY[Dist[I].second];
+    S.WeightSum += W;
+    S.Mean += W * DataY[Dist[I].second];
   }
-  Mean /= WeightSum;
+  S.Mean /= S.WeightSum;
 
   // Weighted spread of neighbour values as the uncertainty proxy.
-  double Var = 0.0;
   for (size_t I = 0; I != Take; ++I) {
     double W = 1.0 / (Dist[I].first + Epsilon);
-    double D = DataY[Dist[I].second] - Mean;
-    Var += W * D * D;
+    double D = DataY[Dist[I].second] - S.Mean;
+    S.Variance += W * D * D;
   }
-  Var /= WeightSum;
-  return {Mean, Var};
+  S.Variance /= S.WeightSum;
+  return S;
+}
+
+Prediction KnnModel::predict(const std::vector<double> &X) const {
+  NeighborStats S = neighborStats(X);
+  return {S.Mean, S.Variance};
+}
+
+std::vector<double> KnnModel::alcScores(
+    const std::vector<std::vector<double>> &Candidates,
+    const std::vector<std::vector<double>> &Reference,
+    const ScoreContext &Ctx) const {
+  // Per-reference stats are candidate-independent: compute them once, in
+  // disjoint-write shards.
+  std::vector<NeighborStats> RefStats(Reference.size());
+  shardedFor(Ctx.Pool, Reference.size(), Ctx.ShardSize,
+             [&](size_t, size_t Begin, size_t End) {
+               for (size_t R = Begin; R != End; ++R)
+                 RefStats[R] = neighborStats(Reference[R]);
+             });
+
+  // Candidate c relieves reference r in proportion to the kernel mass it
+  // would contribute to r's neighbourhood; references accumulate in index
+  // order so sequential and sharded runs agree bitwise.
+  std::vector<double> Scores(Candidates.size(), 0.0);
+  shardedFor(Ctx.Pool, Candidates.size(), Ctx.ShardSize,
+             [&](size_t, size_t Begin, size_t End) {
+               for (size_t C = Begin; C != End; ++C) {
+                 double Total = 0.0;
+                 for (size_t R = 0; R != Reference.size(); ++R) {
+                   double W = 1.0 / (squaredDistance(Reference[R],
+                                                     Candidates[C]) +
+                                     Epsilon);
+                   Total += RefStats[R].Variance * W /
+                            (RefStats[R].WeightSum + W);
+                 }
+                 Scores[C] = Total;
+               }
+             });
+  return Scores;
 }

@@ -13,6 +13,11 @@
 /// weighted spread of the neighbours' values — honest enough for ALM-style
 /// scoring, with none of the dynamic tree's calibration.
 ///
+/// The ALC analogue scores a candidate by how much weighted-ensemble mass
+/// it would add near each uncertain reference point: observing x shrinks
+/// reference r's spread-variance by roughly Var(r) * w(r,x) / (W(r) +
+/// w(r,x)), where W(r) is the kernel mass of r's current neighbourhood.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALIC_MODEL_KNNMODEL_H
@@ -33,9 +38,21 @@ public:
            const std::vector<double> &Y) override;
   void update(const std::vector<double> &X, double Y) override;
   Prediction predict(const std::vector<double> &X) const override;
+  std::vector<double>
+  alcScores(const std::vector<std::vector<double>> &Candidates,
+            const std::vector<std::vector<double>> &Reference,
+            const ScoreContext &Ctx = ScoreContext()) const override;
   size_t numObservations() const override { return DataX.size(); }
 
 private:
+  /// Neighbourhood summary behind predict() and alcScores().
+  struct NeighborStats {
+    double Mean = 0.0;
+    double Variance = 0.0;
+    double WeightSum = 0.0; ///< kernel mass of the k nearest points
+  };
+  NeighborStats neighborStats(const std::vector<double> &X) const;
+
   unsigned K;
   double Epsilon;
   std::vector<std::vector<double>> DataX;

@@ -2,23 +2,34 @@
 
 #include "model/SurrogateModel.h"
 
+#include "support/Rng.h"
+#include "support/ThreadPool.h"
+
 using namespace alic;
+
+uint64_t ScoreContext::shardSeed(size_t Shard) const {
+  return hashCombine({Seed, uint64_t(Shard), 0x5c07e5eedull});
+}
 
 SurrogateModel::~SurrogateModel() = default;
 
 std::vector<double> SurrogateModel::almScores(
-    const std::vector<std::vector<double>> &Candidates) const {
-  std::vector<double> Scores;
-  Scores.reserve(Candidates.size());
-  for (const auto &X : Candidates)
-    Scores.push_back(predict(X).Variance);
+    const std::vector<std::vector<double>> &Candidates,
+    const ScoreContext &Ctx) const {
+  std::vector<double> Scores(Candidates.size());
+  shardedFor(Ctx.Pool, Candidates.size(), Ctx.ShardSize,
+             [&](size_t, size_t Begin, size_t End) {
+               for (size_t I = Begin; I != End; ++I)
+                 Scores[I] = predict(Candidates[I]).Variance;
+             });
   return Scores;
 }
 
 std::vector<double> SurrogateModel::alcScores(
     const std::vector<std::vector<double>> &Candidates,
-    const std::vector<std::vector<double>> &Reference) const {
+    const std::vector<std::vector<double>> &Reference,
+    const ScoreContext &Ctx) const {
   // Fallback: models without a closed-form ALC reduce to ALM.
   (void)Reference;
-  return almScores(Candidates);
+  return almScores(Candidates, Ctx);
 }

@@ -20,15 +20,41 @@
 #ifndef ALIC_MODEL_SURROGATEMODEL_H
 #define ALIC_MODEL_SURROGATEMODEL_H
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 namespace alic {
 
+class ThreadPool;
+
 /// Predictive distribution summary at one point.
 struct Prediction {
   double Mean = 0.0;
   double Variance = 0.0;
+};
+
+/// Execution context for batched candidate scoring.  The active learner
+/// scores a 500-candidate pool against a 100-point reference set every
+/// iteration; this context lets models shard that work across a thread
+/// pool while staying bit-identical to the sequential path: shards are cut
+/// on a grid that depends only on the candidate count (never the thread
+/// count), each shard writes disjoint outputs, and any stochastic scorer
+/// must draw from shardSeed(Shard) rather than shared mutable state.
+struct ScoreContext {
+  /// Pool to shard the scoring over; null means score sequentially.
+  ThreadPool *Pool = nullptr;
+
+  /// Base seed for stochastic scorers (unused by closed-form ALC/ALM).
+  uint64_t Seed = 0;
+
+  /// Candidates per shard.  Fixed by the caller, not derived from the
+  /// thread count, so the shard grid is reproducible everywhere.
+  size_t ShardSize = 32;
+
+  /// Pre-derived RNG seed of shard \p Shard: a pure function of (Seed,
+  /// Shard), so scheduling order can never leak into results.
+  uint64_t shardSeed(size_t Shard) const;
 };
 
 /// Interface of all runtime-prediction surrogates.
@@ -47,15 +73,20 @@ public:
   virtual Prediction predict(const std::vector<double> &X) const = 0;
 
   /// ALM scores: predictive variance per candidate (higher = more useful).
+  /// The default implementation shards predict() over \p Ctx.
   virtual std::vector<double>
-  almScores(const std::vector<std::vector<double>> &Candidates) const;
+  almScores(const std::vector<std::vector<double>> &Candidates,
+            const ScoreContext &Ctx = ScoreContext()) const;
 
   /// ALC scores: expected reduction of summed predictive variance over
   /// \p Reference if the candidate were observed (higher = more useful).
-  /// The default implementation falls back to ALM.
+  /// Implementations must honor \p Ctx: scored in parallel over its pool,
+  /// the result must be bit-identical to the sequential run.  The default
+  /// implementation falls back to ALM.
   virtual std::vector<double>
   alcScores(const std::vector<std::vector<double>> &Candidates,
-            const std::vector<std::vector<double>> &Reference) const;
+            const std::vector<std::vector<double>> &Reference,
+            const ScoreContext &Ctx = ScoreContext()) const;
 
   /// Number of observations absorbed so far.
   virtual size_t numObservations() const = 0;

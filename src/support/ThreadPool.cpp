@@ -44,6 +44,32 @@ void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
   waitAll();
 }
 
+void ThreadPool::parallelForShards(
+    size_t N, size_t ShardSize,
+    const std::function<void(size_t, size_t, size_t)> &Fn) {
+  if (ShardSize == 0)
+    ShardSize = 1;
+  size_t NumShards = (N + ShardSize - 1) / ShardSize;
+  for (size_t Shard = 0; Shard != NumShards; ++Shard) {
+    size_t Begin = Shard * ShardSize;
+    size_t End = std::min(N, Begin + ShardSize);
+    submit([&Fn, Shard, Begin, End] { Fn(Shard, Begin, End); });
+  }
+  waitAll();
+}
+
+void alic::shardedFor(ThreadPool *Pool, size_t N, size_t ShardSize,
+                      const std::function<void(size_t, size_t, size_t)> &Fn) {
+  if (Pool) {
+    Pool->parallelForShards(N, ShardSize, Fn);
+    return;
+  }
+  if (ShardSize == 0)
+    ShardSize = 1;
+  for (size_t Begin = 0, Shard = 0; Begin < N; Begin += ShardSize, ++Shard)
+    Fn(Shard, Begin, std::min(N, Begin + ShardSize));
+}
+
 void ThreadPool::workerLoop() {
   while (true) {
     std::function<void()> Task;

@@ -48,6 +48,14 @@ public:
   /// Runs \p Fn(I) for I in [0, N), distributing across the pool, and waits.
   void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
 
+  /// Runs \p Fn(Shard, Begin, End) over ceil(N / ShardSize) contiguous
+  /// shards of [0, N) and waits.  Shard boundaries depend only on \p N and
+  /// \p ShardSize — never on the thread count — so deterministic work (and
+  /// per-shard pre-derived RNG seeds keyed on the shard index) produces
+  /// bit-identical results at any parallelism.
+  void parallelForShards(size_t N, size_t ShardSize,
+                         const std::function<void(size_t, size_t, size_t)> &Fn);
+
 private:
   void workerLoop();
 
@@ -59,6 +67,13 @@ private:
   size_t InFlight = 0;
   bool ShuttingDown = false;
 };
+
+/// Runs \p Fn(Shard, Begin, End) over the fixed shard grid of [0, N) — on
+/// \p Pool when non-null, inline (in shard order) when null.  The grid is
+/// identical either way, so code written against this helper is
+/// bit-reproducible between its sequential and parallel executions.
+void shardedFor(ThreadPool *Pool, size_t N, size_t ShardSize,
+                const std::function<void(size_t, size_t, size_t)> &Fn);
 
 } // namespace alic
 

@@ -3,7 +3,9 @@
 #include "core/ActiveLearner.h"
 #include "dynatree/DynaTree.h"
 #include "exp/Dataset.h"
+#include "gp/GaussianProcess.h"
 #include "spapt/Suite.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
@@ -174,6 +176,103 @@ TEST(ActiveLearnerTest, BatchSelectionLabelsSeveralPerStep) {
     ++StepsAfterSeed;
   EXPECT_EQ(L.stats().Iterations, 24u);
   EXPECT_LE(StepsAfterSeed, 7u); // 24 / 4 = 6 full batches (+ remainder)
+}
+
+TEST(ActiveLearnerTest, ParallelAlcBitIdenticalToSequential) {
+  // The whole loop — reference sampling, scoring, selection, measuring —
+  // must replay identically whether candidate scoring runs sequentially
+  // or sharded over a pool, at any thread count.
+  Fixture F("correlation", 300);
+  ActiveLearnerConfig Cfg = F.config(60);
+  Cfg.CandidatesPerIteration = 100; // several shards per iteration
+
+  auto runWith = [&](ThreadPool *Pool) {
+    DynaTree M(F.modelConfig());
+    ActiveLearner L(*F.B, M, F.D.Norm, F.D.TrainPool,
+                    SamplingPlan::sequential(35), Cfg, Pool);
+    while (L.step()) {
+    }
+    return std::make_tuple(L.cumulativeCostSeconds(), L.stats().Revisits,
+                           L.stats().DistinctExamples,
+                           M.predict(F.D.TestFeatures.front()).Mean);
+  };
+
+  auto Sequential = runWith(nullptr);
+  for (unsigned Threads : {1u, 4u}) {
+    ThreadPool Pool(Threads);
+    EXPECT_EQ(runWith(&Pool), Sequential) << "thread count " << Threads;
+  }
+}
+
+TEST(ActiveLearnerTest, ParallelAlcScoresBitIdenticalOnModel) {
+  // Direct model-level check on the dynamic tree's sharded ALC.
+  Fixture F("mvt", 300);
+  DynaTree M(F.modelConfig());
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  for (size_t I = 0; I != 80; ++I) {
+    X.push_back(F.D.TestFeatures[I % F.D.TestFeatures.size()]);
+    Y.push_back(double(I % 7));
+  }
+  M.fit(X, Y);
+  std::vector<std::vector<double>> Cands(X.begin(), X.begin() + 70);
+  std::vector<std::vector<double>> Ref(X.begin() + 10, X.begin() + 50);
+
+  std::vector<double> Sequential = M.alcScores(Cands, Ref);
+  ThreadPool Pool(5);
+  ScoreContext Ctx;
+  Ctx.Pool = &Pool;
+  Ctx.ShardSize = 16;
+  EXPECT_EQ(M.alcScores(Cands, Ref, Ctx), Sequential);
+}
+
+TEST(ActiveLearnerTest, GpSurrogateLoopMatchesAcrossPools) {
+  Fixture F("mvt", 200);
+  GpConfig G;
+  G.OptimizeHyperParams = false;
+  G.Init.LengthScale = 0.8;
+  G.Init.NoiseVariance = 1e-3;
+  ActiveLearnerConfig Cfg = F.config(25);
+  Cfg.CandidatesPerIteration = 64;
+
+  auto runWith = [&](ThreadPool *Pool) {
+    GaussianProcess M(G);
+    ActiveLearner L(*F.B, M, F.D.Norm, F.D.TrainPool,
+                    SamplingPlan::sequential(35), Cfg, Pool);
+    while (L.step()) {
+    }
+    return std::make_pair(L.cumulativeCostSeconds(),
+                          M.predict(F.D.TestFeatures.front()).Mean);
+  };
+
+  ThreadPool Pool(3);
+  EXPECT_EQ(runWith(nullptr), runWith(&Pool));
+}
+
+TEST(ActiveLearnerTest, ExplicitBatchStepLabelsAndChargesLedger) {
+  Fixture F;
+  DynaTree M(F.modelConfig());
+  ActiveLearner L(*F.B, M, F.D.Norm, F.D.TrainPool,
+                  SamplingPlan::sequential(35), F.config(40));
+  L.step(); // seeding
+  size_t SeedObs = L.stats().Observations;
+
+  // An explicit batch labels exactly that many examples, one observation
+  // each under the sequential plan, all charged to the ledger.
+  ASSERT_TRUE(L.step(5u));
+  EXPECT_EQ(L.stats().Iterations, 5u);
+  EXPECT_EQ(L.stats().Observations, SeedObs + 5u);
+  EXPECT_EQ(L.profiler().ledger().Runs, L.stats().Observations);
+
+  ASSERT_TRUE(L.step(3u));
+  EXPECT_EQ(L.stats().Iterations, 8u);
+  EXPECT_EQ(L.profiler().ledger().Runs, L.stats().Observations);
+
+  // The remaining budget caps the final batch at nmax.
+  while (L.step(16u)) {
+  }
+  EXPECT_EQ(L.stats().Iterations, 40u);
+  EXPECT_EQ(L.profiler().ledger().Runs, L.stats().Observations);
 }
 
 TEST(ActiveLearnerTest, PoolExhaustionTerminates) {

@@ -2,6 +2,7 @@
 
 #include "gp/GaussianProcess.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
@@ -18,6 +19,19 @@ GpConfig fixedConfig(double Length = 0.7, double Noise = 1e-4) {
   C.Init.LengthScale = Length;
   C.Init.NoiseVariance = Noise;
   return C;
+}
+
+/// Deterministic regression sample in 2 dims.
+void makeSample(size_t N, uint64_t Seed, std::vector<std::vector<double>> &X,
+                std::vector<double> &Y) {
+  Rng R(Seed);
+  X.clear();
+  Y.clear();
+  for (size_t I = 0; I != N; ++I) {
+    X.push_back({R.nextUniform(-2, 2), R.nextUniform(-2, 2)});
+    Y.push_back(std::sin(X.back()[0]) + 0.3 * X.back()[1] +
+                0.02 * R.nextGaussian());
+  }
 }
 
 } // namespace
@@ -107,6 +121,115 @@ TEST(GpTest, DeterministicGivenSeed) {
   M2.fit(X, Y);
   EXPECT_EQ(M1.predict({0.2}).Mean, M2.predict({0.2}).Mean);
   EXPECT_EQ(M1.hyperParams().LengthScale, M2.hyperParams().LengthScale);
+}
+
+TEST(GpTest, IncrementalUpdateMatchesFromScratchFit) {
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  makeSample(48, 7, X, Y);
+
+  // One model seeds on 16 points and absorbs the rest through the O(n^2)
+  // incremental path; the other sees the full batch at once.
+  GaussianProcess Inc(fixedConfig());
+  Inc.fit({X.begin(), X.begin() + 16}, {Y.begin(), Y.begin() + 16});
+  for (size_t I = 16; I != X.size(); ++I)
+    Inc.update(X[I], Y[I]);
+
+  GaussianProcess Scratch(fixedConfig());
+  Scratch.fit(X, Y);
+
+  ASSERT_EQ(Inc.numObservations(), Scratch.numObservations());
+  Rng R(8);
+  for (int Probe = 0; Probe != 50; ++Probe) {
+    std::vector<double> P = {R.nextUniform(-2, 2), R.nextUniform(-2, 2)};
+    Prediction A = Inc.predict(P), B = Scratch.predict(P);
+    EXPECT_NEAR(A.Mean, B.Mean, 1e-9);
+    EXPECT_NEAR(A.Variance, B.Variance, 1e-9);
+  }
+  EXPECT_NEAR(Inc.logMarginalLikelihood(), Scratch.logMarginalLikelihood(),
+              1e-9);
+}
+
+TEST(GpTest, IncrementalAndRefitModesAgreeBitwise) {
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  makeSample(40, 11, X, Y);
+
+  GpConfig IncCfg = fixedConfig();
+  IncCfg.Update = GpUpdateMode::Incremental;
+  GpConfig RefitCfg = fixedConfig();
+  RefitCfg.Update = GpUpdateMode::Refit;
+
+  GaussianProcess Inc(IncCfg), Refit(RefitCfg);
+  Inc.fit({X.begin(), X.begin() + 10}, {Y.begin(), Y.begin() + 10});
+  Refit.fit({X.begin(), X.begin() + 10}, {Y.begin(), Y.begin() + 10});
+  for (size_t I = 10; I != X.size(); ++I) {
+    Inc.update(X[I], Y[I]);
+    Refit.update(X[I], Y[I]);
+  }
+  // Cholesky::extend reproduces factorize()'s arithmetic, so the two
+  // update modes are not merely close — they are the same numbers.
+  Rng R(12);
+  for (int Probe = 0; Probe != 20; ++Probe) {
+    std::vector<double> P = {R.nextUniform(-2, 2), R.nextUniform(-2, 2)};
+    EXPECT_EQ(Inc.predict(P).Mean, Refit.predict(P).Mean);
+    EXPECT_EQ(Inc.predict(P).Variance, Refit.predict(P).Variance);
+  }
+  EXPECT_EQ(Inc.logMarginalLikelihood(), Refit.logMarginalLikelihood());
+}
+
+TEST(GpTest, IncrementalUpdateSurvivesNonFiniteObservation) {
+  GaussianProcess M(fixedConfig());
+  M.fit({{0.0}, {1.0}}, {0.0, 1.0});
+  double Before = M.predict({0.5}).Mean;
+  // A NaN feature defeats both the rank-1 extension and the fallback
+  // refactorization; the model must drop the point and stay usable.
+  M.update({std::nan("")}, 2.0);
+  EXPECT_EQ(M.numObservations(), 2u);
+  EXPECT_EQ(M.predict({0.5}).Mean, Before);
+  // And a well-formed observation still lands afterwards.
+  M.update({2.0}, 4.0);
+  EXPECT_EQ(M.numObservations(), 3u);
+  EXPECT_NEAR(M.predict({2.0}).Mean, 4.0, 0.05);
+}
+
+TEST(GpTest, DeferredModeBuffersUntilRefit) {
+  GpConfig C = fixedConfig();
+  C.Update = GpUpdateMode::Deferred;
+  GaussianProcess M(C);
+  M.fit({{0.0}, {1.0}}, {0.0, 1.0});
+  double Before = M.predict({2.0}).Mean;
+  M.update({2.0}, 4.0);
+  EXPECT_EQ(M.numObservations(), 3u);
+  // Still predicting from the stale factorization...
+  EXPECT_EQ(M.predict({2.0}).Mean, Before);
+  // ...until an explicit refit absorbs the buffered point.
+  M.refit();
+  EXPECT_NEAR(M.predict({2.0}).Mean, 4.0, 0.05);
+}
+
+TEST(GpTest, ParallelAlcBitIdenticalToSequential) {
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  makeSample(60, 13, X, Y);
+  GaussianProcess M(fixedConfig());
+  M.fit(X, Y);
+
+  std::vector<std::vector<double>> Cands, Ref;
+  Rng R(14);
+  for (int I = 0; I != 100; ++I)
+    Cands.push_back({R.nextUniform(-2, 2), R.nextUniform(-2, 2)});
+  for (int I = 0; I != 30; ++I)
+    Ref.push_back({R.nextUniform(-2, 2), R.nextUniform(-2, 2)});
+
+  std::vector<double> Sequential = M.alcScores(Cands, Ref);
+  for (unsigned Threads : {1u, 3u, 7u}) {
+    ThreadPool Pool(Threads);
+    ScoreContext Ctx;
+    Ctx.Pool = &Pool;
+    EXPECT_EQ(M.alcScores(Cands, Ref, Ctx), Sequential)
+        << "thread count " << Threads;
+  }
 }
 
 TEST(GpTest, HandlesDuplicateInputsViaNugget) {

@@ -115,6 +115,67 @@ TEST(CholeskyTest, RejectsIndefiniteMatrix) {
   EXPECT_FALSE(Cholesky::factorize(A).has_value());
 }
 
+TEST(CholeskyTest, ExtendMatchesFullRefactorization) {
+  Rng R(31);
+  const size_t N = 40;
+  Matrix A = randomSpd(N, R);
+  auto Full = Cholesky::factorize(A);
+  ASSERT_TRUE(Full.has_value());
+
+  // Factor the leading (N-1)x(N-1) block, then border it with A's last
+  // row and column.
+  Matrix Lead(N - 1, N - 1);
+  for (size_t I = 0; I != N - 1; ++I)
+    for (size_t J = 0; J != N - 1; ++J)
+      Lead.at(I, J) = A.at(I, J);
+  auto Grown = Cholesky::factorize(Lead);
+  ASSERT_TRUE(Grown.has_value());
+  std::vector<double> Border(N - 1);
+  for (size_t I = 0; I != N - 1; ++I)
+    Border[I] = A.at(N - 1, I);
+  ASSERT_TRUE(Grown->extend(Border, A.at(N - 1, N - 1)));
+
+  EXPECT_EQ(Grown->size(), N);
+  // extend() reproduces factorize()'s arithmetic: the factors agree
+  // bit-for-bit, not merely within tolerance.
+  EXPECT_EQ(Grown->factor().maxAbsDiff(Full->factor()), 0.0);
+  EXPECT_EQ(Grown->logDeterminant(), Full->logDeterminant());
+}
+
+TEST(CholeskyTest, RepeatedExtendGrowsFromScalar) {
+  Rng R(32);
+  const size_t N = 25;
+  Matrix A = randomSpd(N, R);
+  auto Full = Cholesky::factorize(A);
+  ASSERT_TRUE(Full.has_value());
+
+  Matrix First(1, 1);
+  First.at(0, 0) = A.at(0, 0);
+  auto Grown = Cholesky::factorize(First);
+  ASSERT_TRUE(Grown.has_value());
+  for (size_t M = 1; M != N; ++M) {
+    std::vector<double> Border(M);
+    for (size_t I = 0; I != M; ++I)
+      Border[I] = A.at(M, I);
+    ASSERT_TRUE(Grown->extend(Border, A.at(M, M))) << "at size " << M;
+  }
+  EXPECT_EQ(Grown->factor().maxAbsDiff(Full->factor()), 0.0);
+}
+
+TEST(CholeskyTest, ExtendRejectsNonPdBorderAndKeepsFactor) {
+  Matrix A(1, 1);
+  A.at(0, 0) = 1.0;
+  auto F = Cholesky::factorize(A);
+  ASSERT_TRUE(F.has_value());
+  // Bordered matrix [[1, 2], [2, 1]] has eigenvalues 3 and -1.
+  EXPECT_FALSE(F->extend({2.0}, 1.0));
+  EXPECT_EQ(F->size(), 1u);
+  EXPECT_NEAR(F->factor().at(0, 0), 1.0, 0.0);
+  // The untouched factor still solves the original system.
+  std::vector<double> X = F->solve({3.0});
+  EXPECT_NEAR(X[0], 3.0, 1e-14);
+}
+
 TEST(CholeskyTest, SolveLowerForwardSubstitution) {
   Matrix A(2, 2);
   A.at(0, 0) = 4.0;

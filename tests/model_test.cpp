@@ -3,6 +3,7 @@
 #include "dynatree/DynaTree.h"
 #include "model/KnnModel.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
@@ -41,16 +42,47 @@ TEST(KnnModelTest, UpdateAddsPoints) {
   EXPECT_NEAR(M.predict({5.0}).Mean, 9.0, 1e-6);
 }
 
-TEST(KnnModelTest, AlmFallbackScoresMatchVariance) {
+TEST(KnnModelTest, AlmScoresMatchVariance) {
   KnnModel M(3);
   M.fit({{0.0}, {0.1}, {2.0}, {2.1}}, {1.0, 1.0, 4.0, 8.0});
   std::vector<std::vector<double>> Cands = {{0.05}, {2.05}};
   std::vector<double> Alm = M.almScores(Cands);
   EXPECT_DOUBLE_EQ(Alm[0], M.predict(Cands[0]).Variance);
   EXPECT_DOUBLE_EQ(Alm[1], M.predict(Cands[1]).Variance);
-  // The default ALC falls back to ALM for models without a closed form.
-  std::vector<double> Alc = M.alcScores(Cands, Cands);
-  EXPECT_EQ(Alc, Alm);
+}
+
+TEST(KnnModelTest, AlcPrefersCandidatesNearUncertainReferences) {
+  KnnModel M(3);
+  // Agreeing cluster on the left (low spread), disagreeing cluster on the
+  // right (high spread).
+  M.fit({{-1.0}, {-1.1}, {-0.9}, {1.0}, {1.1}, {0.9}},
+        {2.0, 2.0, 2.0, 0.0, 10.0, 5.0});
+  std::vector<std::vector<double>> Ref = {{-1.0}, {1.0}};
+  std::vector<double> Scores = M.alcScores({{1.05}, {-1.05}}, Ref);
+  EXPECT_GT(Scores[0], 0.0);
+  EXPECT_GT(Scores[1], 0.0);
+  // Observing next to the noisy cluster relieves more reference variance.
+  EXPECT_GT(Scores[0], Scores[1]);
+}
+
+TEST(KnnModelTest, ParallelAlcBitIdenticalToSequential) {
+  Rng R(33);
+  KnnModel M(5);
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  for (int I = 0; I != 120; ++I) {
+    X.push_back({R.nextUniform(-1, 1), R.nextUniform(-1, 1)});
+    Y.push_back(X.back()[0] + 0.5 * R.nextGaussian());
+  }
+  M.fit(X, Y);
+  std::vector<std::vector<double>> Cands(X.begin(), X.begin() + 90);
+  std::vector<std::vector<double>> Ref(X.begin() + 90, X.end());
+
+  std::vector<double> Sequential = M.alcScores(Cands, Ref);
+  ThreadPool Pool(4);
+  ScoreContext Ctx;
+  Ctx.Pool = &Pool;
+  EXPECT_EQ(M.alcScores(Cands, Ref, Ctx), Sequential);
 }
 
 TEST(ModelComparisonTest, DynaTreeBeatsKnnOnStructuredNoise) {

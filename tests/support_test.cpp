@@ -338,3 +338,42 @@ TEST(ThreadPoolTest, ReusableAfterWait) {
   Pool.waitAll();
   EXPECT_EQ(Counter.load(), 2);
 }
+
+TEST(ThreadPoolTest, ParallelForShardsCoversRangeExactlyOnce) {
+  ThreadPool Pool(3);
+  std::vector<std::atomic<int>> Hits(100);
+  Pool.parallelForShards(100, 7, [&Hits](size_t, size_t Begin, size_t End) {
+    for (size_t I = Begin; I != End; ++I)
+      ++Hits[I];
+  });
+  for (auto &H : Hits)
+    EXPECT_EQ(H.load(), 1);
+}
+
+TEST(ThreadPoolTest, ShardGridIndependentOfThreadCount) {
+  // The shard boundaries are a pure function of (N, ShardSize): the
+  // sequential path, a 1-thread pool, and a 5-thread pool must all see
+  // the same grid — the property candidate scoring's determinism rests on.
+  auto gridOf = [](ThreadPool *Pool) {
+    std::vector<std::tuple<size_t, size_t, size_t>> Grid(4);
+    shardedFor(Pool, 25, 8, [&Grid](size_t Shard, size_t Begin, size_t End) {
+      Grid[Shard] = {Shard, Begin, End};
+    });
+    return Grid;
+  };
+  std::vector<std::tuple<size_t, size_t, size_t>> Expected = {
+      {0, 0, 8}, {1, 8, 16}, {2, 16, 24}, {3, 24, 25}};
+  EXPECT_EQ(gridOf(nullptr), Expected);
+  ThreadPool One(1), Five(5);
+  EXPECT_EQ(gridOf(&One), Expected);
+  EXPECT_EQ(gridOf(&Five), Expected);
+}
+
+TEST(ThreadPoolTest, ShardedForRunsInlineWithoutPool) {
+  // No pool: shards run on the calling thread, in shard order.
+  std::vector<size_t> Order;
+  shardedFor(nullptr, 10, 3, [&Order](size_t Shard, size_t, size_t) {
+    Order.push_back(Shard);
+  });
+  EXPECT_EQ(Order, (std::vector<size_t>{0, 1, 2, 3}));
+}
