@@ -57,6 +57,38 @@ void BM_DynaTreeUpdate(benchmark::State &State) {
   State.SetLabel("O(particles x depth), independent of n");
 }
 
+void BM_DynaTreeUpdateParticles(benchmark::State &State) {
+  // The tentpole measurement: SMC update throughput of the rebuilt
+  // particle engine at the paper's ensemble sizes.  Arg(0) = particles,
+  // Arg(1) = update threads (0 = serial).  The parallel rows are
+  // bit-identical to the serial ones — per-particle counter-derived RNG
+  // streams on a fixed shard grid — so this isolates pure speedup.
+  unsigned Particles = unsigned(State.range(0));
+  unsigned Threads = unsigned(State.range(1));
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  makeData(640, X, Y);
+  DynaTreeConfig C;
+  C.NumParticles = Particles;
+  std::unique_ptr<ThreadPool> Pool; // outlives the model it is wired to
+  DynaTree M(C);
+  if (Threads != 0) {
+    Pool = std::make_unique<ThreadPool>(Threads);
+    M.setThreadPool(Pool.get());
+  }
+  M.fit({X.begin(), X.begin() + 400}, {Y.begin(), Y.begin() + 400});
+  size_t Next = 400;
+  for (auto _ : State) {
+    M.update(X[Next % X.size()], Y[Next % Y.size()]);
+    ++Next;
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()));
+  State.SetLabel(Threads == 0
+                     ? "serial"
+                     : "sharded over " + std::to_string(Threads) +
+                           " threads (bit-identical)");
+}
+
 GpConfig plainGpConfig(GpUpdateMode Mode) {
   GpConfig C;
   C.OptimizeHyperParams = false;
@@ -162,6 +194,10 @@ void BM_DynaTreeAlcScoring(benchmark::State &State) {
 } // namespace
 
 BENCHMARK(BM_DynaTreeUpdate)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+BENCHMARK(BM_DynaTreeUpdateParticles)
+    ->Args({1000, 0})->Args({1000, 8})
+    ->Args({5000, 0})->Args({5000, 2})->Args({5000, 4})->Args({5000, 8})
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GpRefitUpdate)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(500)
     ->Arg(800)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_GpIncrementalUpdate)->Arg(50)->Arg(100)->Arg(200)->Arg(400)

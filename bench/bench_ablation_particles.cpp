@@ -1,0 +1,171 @@
+//===- bench/bench_ablation_particles.cpp - particle-count ablation -------===//
+//
+// The tentpole deliverable of the particle-engine overhaul, measured:
+// DynaTree SMC update throughput and curve quality as functions of the
+// ensemble size N (the paper's Section 4.4 runs N = 5000) and of the
+// update thread count.  Parallel rows are bit-identical to serial ones —
+// the engine derives every particle's RNG stream from (seed, step,
+// index) on a fixed shard grid — so thread rows isolate pure speedup.
+//
+// Emits BENCH_particles.json for the CI perf-smoke artifact trail.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "dynatree/DynaTree.h"
+#include "support/Rng.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+using namespace alic;
+
+namespace {
+
+/// Deterministic synthetic regression surface in 6 dimensions.
+double truth(const std::vector<double> &Row) {
+  return Row[0] * 2.0 + Row[1] * Row[1] - Row[2] + (Row[3] > 0.0 ? 1.5 : 0.0);
+}
+
+void makeData(size_t N, std::vector<std::vector<double>> &X,
+              std::vector<double> &Y, double NoiseSigma) {
+  Rng R(99);
+  for (size_t I = 0; I != N; ++I) {
+    std::vector<double> Row(6);
+    for (double &V : Row)
+      V = R.nextUniform(-1, 1);
+    Y.push_back(truth(Row) + NoiseSigma * R.nextGaussian());
+    X.push_back(std::move(Row));
+  }
+}
+
+struct Measurement {
+  unsigned Particles = 0;
+  unsigned Threads = 0;
+  double UpdatesPerSecond = 0.0;
+  double Ess = 0.0;
+  double AvgLeaves = 0.0;
+  double AvgDepth = 0.0;
+  double Rmse = 0.0;
+};
+
+} // namespace
+
+int main() {
+  printScaleBanner("bench_ablation_particles: update throughput and curve "
+                   "quality vs ensemble size and thread count");
+
+  // Workload sized by the ambient scale so the CI smoke lane finishes in
+  // seconds while the bench/paper presets exercise the paper's N = 5000.
+  size_t SeedPoints = 100, Updates = 150;
+  std::vector<unsigned> ParticleCounts, ThreadCounts;
+  switch (getScaleKind()) {
+  case ScaleKind::Smoke:
+    Updates = 60;
+    ParticleCounts = {250, 1000};
+    ThreadCounts = {0, 2};
+    break;
+  case ScaleKind::Bench:
+    ParticleCounts = {500, 1000, 2500, 5000};
+    ThreadCounts = {0, 2, 8};
+    break;
+  case ScaleKind::Paper:
+    Updates = 400;
+    ParticleCounts = {1000, 2500, 5000, 10000};
+    ThreadCounts = {0, 2, 4, 8};
+    break;
+  }
+
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  makeData(SeedPoints + Updates, X, Y, 0.05);
+
+  std::vector<Measurement> Results;
+  Table Out({"particles", "threads", "updates/s", "ESS", "leaves", "depth",
+             "RMSE"});
+  for (unsigned Particles : ParticleCounts) {
+    for (unsigned Threads : ThreadCounts) {
+      DynaTreeConfig C;
+      C.NumParticles = Particles;
+      C.Seed = 17;
+      std::unique_ptr<ThreadPool> Pool; // outlives the model it is wired to
+      DynaTree M(C);
+      if (Threads != 0) {
+        Pool = std::make_unique<ThreadPool>(Threads);
+        M.setThreadPool(Pool.get());
+      }
+      M.fit({X.begin(), X.begin() + long(SeedPoints)},
+            {Y.begin(), Y.begin() + long(SeedPoints)});
+
+      auto Start = std::chrono::steady_clock::now();
+      for (size_t I = SeedPoints; I != X.size(); ++I)
+        M.update(X[I], Y[I]);
+      double Seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - Start)
+                           .count();
+
+      Measurement R;
+      R.Particles = Particles;
+      R.Threads = Threads;
+      R.UpdatesPerSecond = double(Updates) / Seconds;
+      R.Ess = M.effectiveSampleSize();
+      R.AvgLeaves = M.averageLeafCount();
+      R.AvgDepth = M.averageDepth();
+      double Se = 0.0;
+      Rng Probe(7);
+      const int NumProbes = 200;
+      for (int I = 0; I != NumProbes; ++I) {
+        std::vector<double> Row(6);
+        for (double &V : Row)
+          V = Probe.nextUniform(-1, 1);
+        double D = M.predict(Row).Mean - truth(Row);
+        Se += D * D;
+      }
+      R.Rmse = std::sqrt(Se / NumProbes);
+      Results.push_back(R);
+      Out.addRow({std::to_string(Particles), std::to_string(Threads),
+                  formatString("%.1f", R.UpdatesPerSecond),
+                  formatString("%.1f", R.Ess),
+                  formatString("%.2f", R.AvgLeaves),
+                  formatString("%.2f", R.AvgDepth),
+                  formatString("%.4f", R.Rmse)});
+    }
+  }
+  Out.print();
+
+  // Speedup summary: threaded rows against the serial row of the same N.
+  for (const Measurement &R : Results) {
+    if (R.Threads == 0)
+      continue;
+    for (const Measurement &Base : Results)
+      if (Base.Particles == R.Particles && Base.Threads == 0)
+        std::printf("N=%u: %u threads = %.2fx serial (quality identical "
+                    "by construction)\n",
+                    R.Particles, R.Threads,
+                    R.UpdatesPerSecond / Base.UpdatesPerSecond);
+  }
+
+  std::FILE *Json = std::fopen("BENCH_particles.json", "w");
+  if (Json) {
+    std::fprintf(Json, "[\n");
+    for (size_t I = 0; I != Results.size(); ++I) {
+      const Measurement &R = Results[I];
+      std::fprintf(Json,
+                   "  {\"particles\": %u, \"threads\": %u, "
+                   "\"updates_per_second\": %.3f, \"ess\": %.3f, "
+                   "\"avg_leaves\": %.3f, \"avg_depth\": %.3f, "
+                   "\"rmse\": %.6f}%s\n",
+                   R.Particles, R.Threads, R.UpdatesPerSecond, R.Ess,
+                   R.AvgLeaves, R.AvgDepth, R.Rmse,
+                   I + 1 == Results.size() ? "" : ",");
+    }
+    std::fprintf(Json, "]\n");
+    std::fclose(Json);
+    std::printf("written: BENCH_particles.json\n");
+  }
+  return 0;
+}

@@ -30,6 +30,29 @@ const char *SamplingPlan::name() const {
   return FixedObservations == 1 ? "one observation" : "all observations";
 }
 
+namespace {
+
+/// How labelling one pick moves the learner's candidate bookkeeping.
+/// Shared by the batch pre-simulation and the execution loop in
+/// step(Batch) so the two can never drift apart.
+struct PickOutcome {
+  bool TakesUnseen;       ///< the pick leaves the unseen pool
+  bool JoinsRevisitable;  ///< a fresh pick still short of the cap
+  bool LeavesRevisitable; ///< a revisit that just reached the cap
+};
+
+PickOutcome pickOutcome(const SamplingPlan &Plan, bool Revisit,
+                        unsigned PrevObsCount) {
+  if (Plan.PlanKind == SamplingPlan::Kind::Fixed)
+    return {true, false, false};
+  unsigned Count = PrevObsCount + 1;
+  if (Revisit)
+    return {false, false, Count >= Plan.MaxObservationsPerExample};
+  return {true, Count < Plan.MaxObservationsPerExample, false};
+}
+
+} // namespace
+
 ActiveLearner::ActiveLearner(const WorkloadOracle &Oracle,
                              SurrogateModel &Model, Normalizer Norm,
                              std::vector<Config> Pool, SamplingPlan Plan,
@@ -40,6 +63,7 @@ ActiveLearner::ActiveLearner(const WorkloadOracle &Oracle,
       Generator(Cfg.Seed), Workers(Workers) {
   assert(!this->Pool.empty() && "training pool must not be empty");
   assert(Cfg.NumInitial >= 1 && "need at least one seed example");
+  setThreadPool(Workers);
   Unseen.resize(this->Pool.size());
   for (size_t I = 0; I != this->Pool.size(); ++I)
     Unseen[I] = uint32_t(I);
@@ -53,7 +77,7 @@ void ActiveLearner::seed() {
   // Label ninit random examples with a full set of observations each, so
   // the learner starts from a quick but accurate look at the space
   // (Section 3.1: "good quality data" for the seed).
-  std::vector<std::vector<double>> X;
+  FlatRows X;
   std::vector<double> Y;
   unsigned NumSeed = std::min<unsigned>(Cfg.NumInitial,
                                         unsigned(Unseen.size()));
@@ -66,7 +90,7 @@ void ActiveLearner::seed() {
     std::vector<double> Obs = Prof.measure(C, Cfg.InitObservations);
     Stats.Observations += Obs.size();
     ++Stats.DistinctExamples;
-    X.push_back(featuresOf(C));
+    X.push(featuresOf(C));
     Y.push_back(arithmeticMean(Obs));
   }
   Model.fit(X, Y);
@@ -126,10 +150,12 @@ bool ActiveLearner::step(unsigned Batch) {
                                 std::min<size_t>(Batch, Candidates.size()));
     Chosen = Order;
   } else {
-    std::vector<std::vector<double>> CandFeatures;
-    CandFeatures.reserve(Candidates.size());
+    // Candidate and reference features go straight into contiguous
+    // FlatRows buffers — the layout every surrogate scores from.
+    FlatRows CandFeatures;
+    CandFeatures.reserveRows(Candidates.size());
     for (const Candidate &C : Candidates)
-      CandFeatures.push_back(featuresOf(Pool[C.PoolIdx]));
+      CandFeatures.push(featuresOf(Pool[C.PoolIdx]));
 
     std::vector<double> Scores;
     if (Cfg.Scorer == ScorerKind::Alm) {
@@ -138,10 +164,10 @@ bool ActiveLearner::step(unsigned Batch) {
       // Reference sample over which the average variance is minimized.
       unsigned NumRef = std::min<size_t>(Cfg.ReferenceSetSize,
                                          Pool.size());
-      std::vector<std::vector<double>> Ref;
-      Ref.reserve(NumRef);
+      FlatRows Ref;
+      Ref.reserveRows(NumRef);
       for (size_t Slot : Generator.sampleIndices(Pool.size(), NumRef))
-        Ref.push_back(featuresOf(Pool[Slot]));
+        Ref.push(featuresOf(Pool[Slot]));
       Scores = Model.alcScores(CandFeatures, Ref, Ctx);
     }
 
@@ -161,11 +187,53 @@ bool ActiveLearner::step(unsigned Batch) {
   }
 
   // --- Label the chosen example(s) and update the model -----------------
-  for (size_t Pick : Chosen) {
-    if (done())
-      break;
-    const Candidate &C = Candidates[Pick];
+  // The completion criterion can trip mid-batch; simulate the bookkeeping
+  // up front so only the picks that will actually be absorbed are
+  // measured (and charged to the ledger).
+  {
+    size_t Executable = 0;
+    size_t Iter = Stats.Iterations;
+    size_t UnseenLeft = Unseen.size();
+    size_t RevisitableLeft = Revisitable.size();
+    for (size_t Pick : Chosen) {
+      // done()'s two conditions on the simulated state.
+      if (Iter >= Cfg.MaxTrainingExamples ||
+          (UnseenLeft == 0 && RevisitableLeft == 0))
+        break;
+      const Candidate &C = Candidates[Pick];
+      auto It = ObsCount.find(C.PoolIdx);
+      PickOutcome O = pickOutcome(Plan, C.Revisit,
+                                  It == ObsCount.end() ? 0 : It->second);
+      UnseenLeft -= O.TakesUnseen;
+      RevisitableLeft += O.JoinsRevisitable;
+      RevisitableLeft -= O.LeavesRevisitable;
+      ++Iter;
+      ++Executable;
+    }
+    Chosen.resize(Executable);
+  }
+
+  // Sequential plans draw one observation per pick; the draws are
+  // counter-based, so the whole batch can be measured up front — sharded
+  // across the pool — with values bit-identical to one-at-a-time
+  // measurement.
+  std::vector<double> BatchObs;
+  if (Plan.PlanKind == SamplingPlan::Kind::Sequential) {
+    std::vector<Config> Picked;
+    Picked.reserve(Chosen.size());
+    for (size_t Pick : Chosen)
+      Picked.push_back(Pool[Candidates[Pick].PoolIdx]);
+    BatchObs = Prof.measureBatch(Picked, Workers);
+  }
+
+  for (size_t Slot = 0; Slot != Chosen.size(); ++Slot) {
+    const Candidate &C = Candidates[Chosen[Slot]];
     const Config &Conf = Pool[C.PoolIdx];
+    PickOutcome O = [&] {
+      auto It = ObsCount.find(C.PoolIdx);
+      return pickOutcome(Plan, C.Revisit,
+                         It == ObsCount.end() ? 0 : It->second);
+    }();
 
     if (Plan.PlanKind == SamplingPlan::Kind::Fixed) {
       std::vector<double> Obs = Prof.measure(Conf, Plan.FixedObservations);
@@ -173,18 +241,17 @@ bool ActiveLearner::step(unsigned Batch) {
       ++Stats.DistinctExamples;
       Model.update(featuresOf(Conf), arithmeticMean(Obs));
     } else {
-      double Y = Prof.measureOnce(Conf);
+      double Y = BatchObs[Slot];
       ++Stats.Observations;
       Model.update(featuresOf(Conf), Y);
-      unsigned &Count = ObsCount[C.PoolIdx];
-      if (C.Revisit) {
+      ++ObsCount[C.PoolIdx];
+      if (C.Revisit)
         ++Stats.Revisits;
-      } else {
+      else
         ++Stats.DistinctExamples;
+      if (O.JoinsRevisitable)
         Revisitable.push_back(C.PoolIdx);
-      }
-      ++Count;
-      if (Count >= Plan.MaxObservationsPerExample) {
+      if (O.LeavesRevisitable) {
         auto It = std::find(Revisitable.begin(), Revisitable.end(),
                             C.PoolIdx);
         if (It != Revisitable.end()) {
@@ -194,7 +261,7 @@ bool ActiveLearner::step(unsigned Batch) {
       }
     }
 
-    if (!C.Revisit) {
+    if (O.TakesUnseen) {
       // Remove the configuration from the unseen pool.
       auto It = std::find(Unseen.begin(), Unseen.end(), C.PoolIdx);
       assert(It != Unseen.end() && "fresh candidate missing from pool");

@@ -115,8 +115,14 @@ public:
   /// in stats() exactly as in the one-at-a-time path.
   bool step(unsigned Batch);
 
-  /// Installs (or removes, with nullptr) the scoring thread pool.
-  void setThreadPool(ThreadPool *Workers) { this->Workers = Workers; }
+  /// Installs (or removes, with nullptr) the worker pool.  It shards
+  /// candidate scoring, batched measurement, and the model's internal
+  /// work (the dynamic tree's per-particle SMC update); results stay
+  /// bit-identical at any thread count.
+  void setThreadPool(ThreadPool *Workers) {
+    this->Workers = Workers;
+    Model.setThreadPool(Workers);
+  }
 
   /// True when nmax training examples have been absorbed.
   bool done() const;

@@ -7,13 +7,20 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 
 using namespace alic;
 
-DynaTree::DynaTree(DynaTreeConfig Config)
-    : Config(Config), Generator(Config.Seed) {
+namespace {
+/// Particles per shard of the parallel reweight/propagate phases.  Fixed
+/// (never derived from the thread count) so the shard grid — and with it
+/// every per-particle RNG stream — is identical at any parallelism.
+constexpr size_t ParticleShardSize = 64;
+} // namespace
+
+DynaTree::DynaTree(DynaTreeConfig Config) : Config(Config) {
   assert(Config.NumParticles >= 1 && "need at least one particle");
   assert(Config.MinLeafSize >= 1 && "leaves need at least one observation");
 }
@@ -22,13 +29,29 @@ double DynaTree::splitProbability(unsigned Depth) const {
   return Config.SplitAlpha * std::pow(1.0 + double(Depth), -Config.SplitBeta);
 }
 
+Rng DynaTree::particleRng(uint64_t Step, size_t Index) const {
+  return Rng(hashCombine({Config.Seed, Step, uint64_t(Index), 0xd7eeull}));
+}
+
 //===----------------------------------------------------------------------===//
 // Leaf posterior (Normal-Inverse-Gamma conjugate algebra)
 //===----------------------------------------------------------------------===//
 
+void DynaTree::ensureMarginalTables(size_t MaxN) {
+  if (LogGammaAnTable.size() > MaxN)
+    return;
+  // Geometric push_back growth on purpose: update() extends by one entry
+  // per step, and an exact reserve here would reallocate every call.
+  for (size_t N = LogGammaAnTable.size(); N <= MaxN; ++N) {
+    LogGammaAnTable.push_back(logGamma(Config.PriorShape + 0.5 * double(N)));
+    LogKnTable.push_back(std::log(Config.PriorKappa + double(N)));
+  }
+}
+
 double DynaTree::logMarginal(uint32_t N, double SumY, double SumY2) const {
   if (N == 0)
     return 0.0;
+  assert(N < LogGammaAnTable.size() && "marginal tables not extended");
   double K0 = Config.PriorKappa;
   double A0 = Config.PriorShape;
   double B0 = PriorScale;
@@ -40,8 +63,10 @@ double DynaTree::logMarginal(uint32_t N, double SumY, double SumY2) const {
   double An = A0 + 0.5 * Nd;
   double Bn = B0 + 0.5 * Ss +
               0.5 * K0 * Nd * (Mean - M0) * (Mean - M0) / Kn;
-  return logGamma(An) - logGamma(A0) + A0 * std::log(B0) -
-         An * std::log(Bn) + 0.5 * (std::log(K0) - std::log(Kn)) -
+  // Identical arithmetic to the direct form — the count-indexed logGamma
+  // and log terms are table reads of the very same function values.
+  return LogGammaAnTable[N] - LogGammaA0 + A0 * LogB0 -
+         An * std::log(Bn) + 0.5 * (LogK0 - LogKnTable[N]) -
          0.5 * Nd * std::log(2.0 * M_PI);
 }
 
@@ -65,10 +90,9 @@ static LeafPosterior posteriorOf(uint32_t N, double SumY, double SumY2,
   return P;
 }
 
-double DynaTree::logPredictive(const Node &Leaf, double Y) const {
-  LeafPosterior P = posteriorOf(Leaf.Count, Leaf.SumY, Leaf.SumY2,
-                                Config.PriorKappa, Config.PriorShape,
-                                PriorScale, PriorMean);
+double DynaTree::logPredictive(const LeafStats &S, double Y) const {
+  LeafPosterior P = posteriorOf(S.Count, S.SumY, S.SumY2, Config.PriorKappa,
+                                Config.PriorShape, PriorScale, PriorMean);
   // Student-t with df = 2*An, location Mn, scale^2 = Bn (Kn+1) / (An Kn).
   double Df = 2.0 * P.An;
   double Scale2 = P.Bn * (P.Kn + 1.0) / (P.An * P.Kn);
@@ -77,10 +101,9 @@ double DynaTree::logPredictive(const Node &Leaf, double Y) const {
   return std::log(studentTPdf(Z, Df) / Scale);
 }
 
-Prediction DynaTree::leafPredictive(const Node &Leaf) const {
-  LeafPosterior P = posteriorOf(Leaf.Count, Leaf.SumY, Leaf.SumY2,
-                                Config.PriorKappa, Config.PriorShape,
-                                PriorScale, PriorMean);
+Prediction DynaTree::leafPredictive(const LeafStats &S) const {
+  LeafPosterior P = posteriorOf(S.Count, S.SumY, S.SumY2, Config.PriorKappa,
+                                Config.PriorShape, PriorScale, PriorMean);
   double Df = 2.0 * P.An;
   double Scale2 = P.Bn * (P.Kn + 1.0) / (P.An * P.Kn);
   Prediction Out;
@@ -89,10 +112,9 @@ Prediction DynaTree::leafPredictive(const Node &Leaf) const {
   return Out;
 }
 
-double DynaTree::leafVarianceDrop(const Node &Leaf) const {
-  LeafPosterior P = posteriorOf(Leaf.Count, Leaf.SumY, Leaf.SumY2,
-                                Config.PriorKappa, Config.PriorShape,
-                                PriorScale, PriorMean);
+double DynaTree::leafVarianceDrop(const LeafStats &S) const {
+  LeafPosterior P = posteriorOf(S.Count, S.SumY, S.SumY2, Config.PriorKappa,
+                                Config.PriorShape, PriorScale, PriorMean);
   // sigma2_hat * [ (Kn+1)/Kn - (Kn+2)/(Kn+1) ]: the expected shrink of the
   // predictive variance when the leaf absorbs one more observation.
   double Sigma2 = P.An > 1.0 ? P.Bn / (P.An - 1.0) : P.Bn;
@@ -105,30 +127,102 @@ double DynaTree::leafVarianceDrop(const Node &Leaf) const {
 // Tree navigation and bookkeeping
 //===----------------------------------------------------------------------===//
 
-int32_t DynaTree::findLeaf(const Particle &P,
-                           const std::vector<double> &X) const {
+int32_t DynaTree::findLeaf(const Tree &T, const double *X) const {
   int32_t Idx = 0;
-  while (P.Nodes[Idx].Left >= 0) {
-    const Node &N = P.Nodes[Idx];
+  while (T.Nodes[Idx].Left >= 0) {
+    const Node &N = T.Nodes[Idx];
     Idx = X[N.SplitDim] <= N.SplitValue ? N.Left : N.Right;
   }
   return Idx;
 }
 
-void DynaTree::absorb(Particle &P, int32_t LeafIdx, uint32_t PointIdx) {
-  Node &Leaf = P.Nodes[LeafIdx];
+DynaTree::LeafStats DynaTree::leafStats(const Particle &P,
+                                        int32_t LeafIdx) const {
+  const Node &N = P.T->Nodes[size_t(LeafIdx)];
+  LeafStats S{N.Count, N.SumY, N.SumY2};
+  // Fold pending absorptions in FIFO order — the same order materialize()
+  // flushes them — so deferred and flushed stats agree bit-for-bit.
+  for (unsigned I = 0; I != P.NumPending; ++I)
+    if (P.Pending[I].LeafIdx == LeafIdx) {
+      double Y = DataY[P.Pending[I].PointIdx];
+      S.SumY += Y;
+      S.SumY2 += Y * Y;
+      ++S.Count;
+    }
+  return S;
+}
+
+template <typename Fn>
+void DynaTree::forEachLeafPoint(const Particle &P, int32_t LeafIdx,
+                                Fn &&F) const {
+  const Tree &T = *P.T;
+  for (int32_t C = T.Nodes[size_t(LeafIdx)].PtsHead; C >= 0;
+       C = T.Chunks[size_t(C)].Next) {
+    const PtsChunk &Chunk = T.Chunks[size_t(C)];
+    for (uint32_t I = 0; I != Chunk.Used; ++I)
+      F(Chunk.Entries[I]);
+  }
+  for (unsigned I = 0; I != P.NumPending; ++I)
+    if (P.Pending[I].LeafIdx == LeafIdx)
+      F(P.Pending[I].PointIdx);
+}
+
+void DynaTree::pushBoundsSlot(Tree &T) const {
+  T.Bounds.insert(T.Bounds.end(), Dims, 1e300);  // lows
+  T.Bounds.insert(T.Bounds.end(), Dims, -1e300); // highs
+}
+
+void DynaTree::absorbInto(Tree &T, int32_t LeafIdx, uint32_t PointIdx) {
+  Node &Leaf = T.Nodes[size_t(LeafIdx)];
   double Y = DataY[PointIdx];
   Leaf.SumY += Y;
   Leaf.SumY2 += Y * Y;
   ++Leaf.Count;
-  Leaf.Points.push_back(PointIdx);
+  // Expand the leaf's bounding box — the cached ranges grow proposals cut.
+  const double *Row = DataX.row(PointIdx);
+  double *Lo = T.Bounds.data() + size_t(LeafIdx) * 2 * Dims;
+  double *Hi = Lo + Dims;
+  for (size_t Dim = 0; Dim != Dims; ++Dim) {
+    Lo[Dim] = std::min(Lo[Dim], Row[Dim]);
+    Hi[Dim] = std::max(Hi[Dim], Row[Dim]);
+  }
+  if (Leaf.PtsHead >= 0 && T.Chunks[size_t(Leaf.PtsHead)].Used < ChunkCapacity) {
+    PtsChunk &Head = T.Chunks[size_t(Leaf.PtsHead)];
+    Head.Entries[Head.Used++] = PointIdx;
+    return;
+  }
+  PtsChunk Fresh;
+  Fresh.Next = Leaf.PtsHead;
+  Fresh.Used = 1;
+  Fresh.Entries[0] = PointIdx;
+  T.Chunks.push_back(Fresh);
+  Leaf.PtsHead = int32_t(T.Chunks.size() - 1);
+}
+
+void DynaTree::materialize(Particle &P) {
+  // use_count() == 1 proves sole ownership: during the parallel propagate
+  // phase other threads only *release* references (when their particles
+  // clone), never acquire them, so an observed 1 cannot be stale.  A stale
+  // 2 merely takes the clone path, which produces identical contents.
+  if (P.T.use_count() != 1) {
+    P.T = std::make_shared<Tree>(*P.T);
+  } else {
+    // Order the in-place writes below after a sibling thread's
+    // clone-and-release of this tree: use_count() is a relaxed load, so
+    // pair the releasing decrement with an explicit acquire fence.
+    std::atomic_thread_fence(std::memory_order_acquire);
+  }
+  Tree &T = *P.T;
+  for (unsigned I = 0; I != P.NumPending; ++I)
+    absorbInto(T, P.Pending[I].LeafIdx, P.Pending[I].PointIdx);
+  P.NumPending = 0;
 }
 
 //===----------------------------------------------------------------------===//
 // SMC machinery
 //===----------------------------------------------------------------------===//
 
-void DynaTree::resample(const std::vector<double> &LogWeights, Rng &R) {
+void DynaTree::resampleParticles(const std::vector<double> &LogWeights) {
   size_t N = Particles.size();
   double MaxLw = *std::max_element(LogWeights.begin(), LogWeights.end());
   std::vector<double> W(N);
@@ -148,9 +242,12 @@ void DynaTree::resample(const std::vector<double> &LogWeights, Rng &R) {
   }
   LastEss = 1.0 / Ess;
 
-  // Systematic resampling.
+  // Systematic resampling around a counter-derived pivot: the draw is a
+  // pure function of (seed, step), independent of any shared RNG state.
   std::vector<uint32_t> Counts(N, 0);
-  double U = R.nextDouble() / double(N);
+  double U =
+      Rng(hashCombine({Config.Seed, StepCounter, 0x7e5a3b1eull})).nextDouble() /
+      double(N);
   double Cum = 0.0;
   size_t J = 0;
   for (size_t I = 0; I != N; ++I) {
@@ -161,12 +258,14 @@ void DynaTree::resample(const std::vector<double> &LogWeights, Rng &R) {
     }
   }
 
-  // Materialize: reuse surviving particles in place, copy duplicates.
+  // Materialize the offspring as copy-on-write aliases: a duplicate costs
+  // one shared_ptr copy plus the (64-byte) pending list — the tree itself
+  // is cloned only if and when the offspring later mutates.
   std::vector<Particle> Next;
   Next.reserve(N);
   for (size_t I = 0; I != N; ++I) {
     for (uint32_t C = 1; C < Counts[I]; ++C)
-      Next.push_back(Particles[I]); // copy
+      Next.push_back(Particles[I]); // shares the tree
     if (Counts[I] > 0)
       Next.push_back(std::move(Particles[I]));
   }
@@ -175,14 +274,14 @@ void DynaTree::resample(const std::vector<double> &LogWeights, Rng &R) {
 }
 
 void DynaTree::propagate(Particle &P, uint32_t PointIdx, Rng &R) {
-  const std::vector<double> &X = DataX[PointIdx];
-  int32_t LeafIdx = findLeaf(P, X);
-  Node &Leaf = P.Nodes[LeafIdx];
-  unsigned D = Leaf.Depth;
+  const double *X = DataX.row(PointIdx);
+  int32_t LeafIdx = findLeaf(*P.T, X);
+  LeafStats Eff = leafStats(P, LeafIdx);
+  unsigned D = P.T->Nodes[size_t(LeafIdx)].Depth;
 
   double NewY = DataY[PointIdx];
-  double LStay = logMarginal(Leaf.Count + 1, Leaf.SumY + NewY,
-                             Leaf.SumY2 + NewY * NewY);
+  double LStay = logMarginal(Eff.Count + 1, Eff.SumY + NewY,
+                             Eff.SumY2 + NewY * NewY);
 
   // --- Candidate: grow -----------------------------------------------
   // Multiple-try proposal: draw a handful of (dimension, cut) pairs from
@@ -190,60 +289,85 @@ void DynaTree::propagate(Particle &P, uint32_t PointIdx, Rng &R) {
   // split, and let their average compete against stay/prune.  This
   // approximates marginalizing the grow move over cut positions, which a
   // single uniform draw does far too weakly.
-  bool CanGrow = Leaf.Count + 1 >= 2 * Config.MinLeafSize;
+  bool CanGrow = Eff.Count + 1 >= 2 * Config.MinLeafSize;
   int GrowDim = -1;
   double GrowCut = 0.0;
   double LGrow = -1e300;
   if (CanGrow) {
-    size_t Dims = X.size();
-    std::vector<int> Spread;
-    for (size_t Dim = 0; Dim != Dims; ++Dim) {
-      double Lo = X[Dim], Hi = X[Dim];
-      for (uint32_t Pt : Leaf.Points) {
-        Lo = std::min(Lo, DataX[Pt][Dim]);
-        Hi = std::max(Hi, DataX[Pt][Dim]);
+    // The leaf's per-dimension ranges come from its cached bounding box
+    // (expanded on every absorb) folded with the pending points and the
+    // new point — no pass over the leaf's data is needed to bound it.
+    thread_local std::vector<double> Lo, Hi;
+    thread_local std::vector<int> Spread;
+    const double *BaseLo = P.T->Bounds.data() + size_t(LeafIdx) * 2 * Dims;
+    const double *BaseHi = BaseLo + Dims;
+    Lo.assign(BaseLo, BaseLo + Dims);
+    Hi.assign(BaseHi, BaseHi + Dims);
+    auto Expand = [&](const double *Row) {
+      for (size_t Dim = 0; Dim != Dims; ++Dim) {
+        Lo[Dim] = std::min(Lo[Dim], Row[Dim]);
+        Hi[Dim] = std::max(Hi[Dim], Row[Dim]);
       }
-      if (Hi > Lo)
+    };
+    for (unsigned I = 0; I != P.NumPending; ++I)
+      if (P.Pending[I].LeafIdx == LeafIdx)
+        Expand(DataX.row(P.Pending[I].PointIdx));
+    Expand(X);
+    Spread.clear();
+    for (size_t Dim = 0; Dim != Dims; ++Dim)
+      if (Hi[Dim] > Lo[Dim])
         Spread.push_back(int(Dim));
-    }
-    const unsigned NumTries = 4;
+
+    constexpr unsigned NumTries = 4;
     double BestL = -1e300;
     double Pd = splitProbability(D);
     double Pd1 = splitProbability(D + 1);
     double PriorTerm = std::log(Pd) + 2.0 * std::log(1.0 - Pd1) -
                        std::log(1.0 - Pd);
-    for (unsigned Try = 0; Try != NumTries && !Spread.empty(); ++Try) {
-      int Dim = Spread[R.nextBounded(Spread.size())];
-      double Lo = X[Dim], Hi = X[Dim];
-      for (uint32_t Pt : Leaf.Points) {
-        Lo = std::min(Lo, DataX[Pt][Dim]);
-        Hi = std::max(Hi, DataX[Pt][Dim]);
+    if (!Spread.empty()) {
+      // Draw every (dimension, cut) proposal first, then score all of
+      // them in a single cache-linear, *branchless* pass over the leaf's
+      // rows (a predicated accumulate — random cuts mispredict ~50% of
+      // data-dependent branches).  Only the left side is accumulated; the
+      // right side falls out of the leaf totals, halving the arithmetic.
+      struct TryAcc {
+        int Dim;
+        double Cut;
+        uint32_t Nl = 0;
+        double Sl = 0, Sl2 = 0;
+      };
+      TryAcc Tries[NumTries];
+      for (TryAcc &T : Tries) {
+        T.Dim = Spread[R.nextBounded(Spread.size())];
+        T.Cut = R.nextUniform(Lo[size_t(T.Dim)], Hi[size_t(T.Dim)]);
       }
-      double Cut = R.nextUniform(Lo, Hi);
-      uint32_t Nl = 0, Nr = 0;
-      double Sl = 0, Sl2 = 0, Sr = 0, Sr2 = 0;
-      auto Add = [&](double Xd, double Y) {
-        if (Xd <= Cut) {
-          ++Nl;
-          Sl += Y;
-          Sl2 += Y * Y;
-        } else {
-          ++Nr;
-          Sr += Y;
-          Sr2 += Y * Y;
+      auto Add = [&](const double *Row, double Y) {
+        double Y2 = Y * Y;
+        for (TryAcc &T : Tries) {
+          bool Left = Row[T.Dim] <= T.Cut;
+          double Mask = Left ? 1.0 : 0.0;
+          T.Nl += unsigned(Left);
+          T.Sl += Mask * Y;
+          T.Sl2 += Mask * Y2;
         }
       };
-      for (uint32_t Pt : Leaf.Points)
-        Add(DataX[Pt][Dim], DataY[Pt]);
-      Add(X[Dim], NewY);
-      if (Nl < Config.MinLeafSize || Nr < Config.MinLeafSize)
-        continue;
-      double L = PriorTerm + logMarginal(Nl, Sl, Sl2) +
-                 logMarginal(Nr, Sr, Sr2);
-      if (L > BestL) {
-        BestL = L;
-        GrowDim = Dim;
-        GrowCut = Cut;
+      forEachLeafPoint(P, LeafIdx,
+                       [&](uint32_t Pt) { Add(DataX.row(Pt), DataY[Pt]); });
+      Add(X, NewY);
+      uint32_t TotalN = Eff.Count + 1;
+      double TotalS = Eff.SumY + NewY;
+      double TotalS2 = Eff.SumY2 + NewY * NewY;
+      for (const TryAcc &T : Tries) {
+        uint32_t Nr = TotalN - T.Nl;
+        if (T.Nl < Config.MinLeafSize || Nr < Config.MinLeafSize)
+          continue;
+        double L = PriorTerm + logMarginal(T.Nl, T.Sl, T.Sl2) +
+                   logMarginal(Nr, TotalS - T.Sl, TotalS2 - T.Sl2);
+        if (L > BestL) {
+          BestL = L;
+          GrowDim = T.Dim;
+          GrowCut = T.Cut;
+        }
       }
     }
     if (GrowDim >= 0)
@@ -252,13 +376,13 @@ void DynaTree::propagate(Particle &P, uint32_t PointIdx, Rng &R) {
 
   // --- Candidate: prune (only when the sibling is also a leaf) ----------
   double LPrune = -1e300;
-  int32_t ParentIdx = Leaf.Parent;
+  int32_t ParentIdx = P.T->Nodes[size_t(LeafIdx)].Parent;
   int32_t SiblingIdx = -1;
   if (ParentIdx >= 0) {
-    const Node &Parent = P.Nodes[ParentIdx];
+    const Node &Parent = P.T->Nodes[size_t(ParentIdx)];
     SiblingIdx = Parent.Left == LeafIdx ? Parent.Right : Parent.Left;
-    const Node &Sibling = P.Nodes[SiblingIdx];
-    if (Sibling.Left < 0) {
+    if (P.T->Nodes[size_t(SiblingIdx)].Left < 0) {
+      LeafStats Sib = leafStats(P, SiblingIdx);
       // Relative to stay, pruning trades the parent's split factor and the
       // two leaf marginals for one merged-leaf marginal; the leaf+new
       // marginal shared with LStay cancels in the sampling ratio.
@@ -266,10 +390,9 @@ void DynaTree::propagate(Particle &P, uint32_t PointIdx, Rng &R) {
       double PHere = splitProbability(D);
       LPrune = std::log(1.0 - PParent) - std::log(PParent) -
                2.0 * std::log(1.0 - PHere) +
-               logMarginal(Leaf.Count + Sibling.Count + 1,
-                           Leaf.SumY + Sibling.SumY + NewY,
-                           Leaf.SumY2 + Sibling.SumY2 + NewY * NewY) -
-               logMarginal(Sibling.Count, Sibling.SumY, Sibling.SumY2);
+               logMarginal(Eff.Count + Sib.Count + 1, Eff.SumY + Sib.SumY + NewY,
+                           Eff.SumY2 + Sib.SumY2 + NewY * NewY) -
+               logMarginal(Sib.Count, Sib.SumY, Sib.SumY2);
     }
   }
 
@@ -282,73 +405,139 @@ void DynaTree::propagate(Particle &P, uint32_t PointIdx, Rng &R) {
   double Draw = R.nextDouble() * Total;
 
   if (Draw < WGrow && GrowDim >= 0) {
-    // Grow: the leaf becomes internal with two fresh children.
-    int32_t L = int32_t(P.Nodes.size());
+    // Grow: the leaf becomes internal with two fresh children.  Gather the
+    // leaf's points (pending included) before materializing so the
+    // repartition order is a pure function of the particle's history.
+    std::vector<uint32_t> Pts;
+    Pts.reserve(Eff.Count + 1);
+    forEachLeafPoint(P, LeafIdx, [&](uint32_t Pt) { Pts.push_back(Pt); });
+    Pts.push_back(PointIdx);
+
+    materialize(P);
+    Tree &T = *P.T;
+    int32_t L = int32_t(T.Nodes.size());
     int32_t Rr = L + 1;
     Node LeftChild, RightChild;
     LeftChild.Parent = LeafIdx;
     RightChild.Parent = LeafIdx;
     LeftChild.Depth = RightChild.Depth = uint16_t(D + 1);
-    // Re-partition the points (including the new one).
-    std::vector<uint32_t> Pts = P.Nodes[LeafIdx].Points;
-    Pts.push_back(PointIdx);
+    T.Nodes.push_back(LeftChild);
+    T.Nodes.push_back(RightChild);
+    pushBoundsSlot(T); // children's boxes fill in via absorbInto below
+    pushBoundsSlot(T);
     for (uint32_t Pt : Pts) {
-      Node &Side = DataX[Pt][GrowDim] <= GrowCut ? LeftChild : RightChild;
-      Side.Points.push_back(Pt);
-      Side.SumY += DataY[Pt];
-      Side.SumY2 += DataY[Pt] * DataY[Pt];
-      ++Side.Count;
+      bool GoesLeft = DataX.row(Pt)[GrowDim] <= GrowCut;
+      absorbInto(T, GoesLeft ? L : Rr, Pt);
     }
-    P.Nodes.push_back(std::move(LeftChild));
-    P.Nodes.push_back(std::move(RightChild));
-    Node &NewInternal = P.Nodes[LeafIdx];
+    Node &NewInternal = T.Nodes[size_t(LeafIdx)];
     NewInternal.Left = L;
     NewInternal.Right = Rr;
     NewInternal.SplitDim = int16_t(GrowDim);
     NewInternal.SplitValue = GrowCut;
-    NewInternal.Points.clear();
-    NewInternal.Points.shrink_to_fit();
     NewInternal.Count = 0;
     NewInternal.SumY = NewInternal.SumY2 = 0.0;
+    // The old leaf's chunks become unreachable pool garbage; compaction is
+    // not worth the bookkeeping (same policy as dead nodes below).
+    NewInternal.PtsHead = -1;
     return;
   }
 
   if (Draw < WGrow + WPrune && WPrune > 0.0) {
     // Prune: the parent becomes a leaf holding both children's data.
-    Node &Parent = P.Nodes[ParentIdx];
-    Node &Sibling = P.Nodes[SiblingIdx];
-    Node &Self = P.Nodes[LeafIdx];
+    materialize(P); // flushes pending, so node stats below are effective
+    Tree &T = *P.T;
+    Node &Parent = T.Nodes[size_t(ParentIdx)];
+    Node &Sibling = T.Nodes[size_t(SiblingIdx)];
+    Node &Self = T.Nodes[size_t(LeafIdx)];
     Parent.Left = Parent.Right = -1;
     Parent.SplitDim = -1;
-    Parent.Points = std::move(Self.Points);
-    Parent.Points.insert(Parent.Points.end(), Sibling.Points.begin(),
-                         Sibling.Points.end());
     Parent.Count = Self.Count + Sibling.Count;
     Parent.SumY = Self.SumY + Sibling.SumY;
     Parent.SumY2 = Self.SumY2 + Sibling.SumY2;
+    // The merged leaf's box is the union of its children's boxes.
+    {
+      double *PLo = T.Bounds.data() + size_t(ParentIdx) * 2 * Dims;
+      const double *ALo = T.Bounds.data() + size_t(LeafIdx) * 2 * Dims;
+      const double *BLo = T.Bounds.data() + size_t(SiblingIdx) * 2 * Dims;
+      for (size_t Dim = 0; Dim != Dims; ++Dim) {
+        PLo[Dim] = std::min(ALo[Dim], BLo[Dim]);
+        PLo[Dims + Dim] = std::max(ALo[Dims + Dim], BLo[Dims + Dim]);
+      }
+    }
+    // Splice the two chunk lists (both privately owned after materialize).
+    Parent.PtsHead = Self.PtsHead;
+    if (Parent.PtsHead < 0) {
+      Parent.PtsHead = Sibling.PtsHead;
+    } else if (Sibling.PtsHead >= 0) {
+      int32_t Tail = Self.PtsHead;
+      while (T.Chunks[size_t(Tail)].Next >= 0)
+        Tail = T.Chunks[size_t(Tail)].Next;
+      T.Chunks[size_t(Tail)].Next = Sibling.PtsHead;
+    }
     // Old child nodes become unreachable; absorb the new point and leave
     // them in place (compaction is not worth the bookkeeping).
     Self = Node();
     Sibling = Node();
-    absorb(P, ParentIdx, PointIdx);
+    absorbInto(T, ParentIdx, PointIdx);
     return;
   }
 
-  // Stay.
-  absorb(P, LeafIdx, PointIdx);
+  // Stay: the cheap, common case — defer the absorption so a tree shared
+  // with resampling siblings need not be cloned at all.
+  if (P.NumPending < MaxPending) {
+    P.Pending[P.NumPending++] = {LeafIdx, PointIdx};
+    return;
+  }
+  materialize(P);
+  absorbInto(*P.T, LeafIdx, PointIdx);
+}
+
+void DynaTree::ingest(uint32_t PointIdx, bool Resample) {
+  const double *X = DataX.row(PointIdx);
+  double Y = DataY[PointIdx];
+  size_t Np = Particles.size();
+
+  // 1-2. Reweight by posterior predictive and resample (skipped during
+  // batched seeding, and while the ensemble is still nearly empty — the
+  // weights would all be equal).
+  if (Resample && PointIdx >= 2) {
+    std::vector<double> LogW(Np);
+    shardedFor(Workers, Np, ParticleShardSize,
+               [&](size_t, size_t Begin, size_t End) {
+                 for (size_t I = Begin; I != End; ++I) {
+                   const Particle &P = Particles[I];
+                   int32_t Leaf = findLeaf(*P.T, X);
+                   LogW[I] = logPredictive(leafStats(P, Leaf), Y);
+                 }
+               });
+    resampleParticles(LogW);
+  }
+
+  // 3-4. Propagate every particle with a local stay/prune/grow move, each
+  // from its own counter-derived RNG stream.
+  uint64_t Step = StepCounter;
+  shardedFor(Workers, Np, ParticleShardSize,
+             [&](size_t, size_t Begin, size_t End) {
+               for (size_t I = Begin; I != End; ++I) {
+                 Rng R = particleRng(Step, I);
+                 propagate(Particles[I], PointIdx, R);
+               }
+             });
+  ++StepCounter;
 }
 
 //===----------------------------------------------------------------------===//
 // Public interface
 //===----------------------------------------------------------------------===//
 
-void DynaTree::fit(const std::vector<std::vector<double>> &X,
-                   const std::vector<double> &Y) {
+void DynaTree::fit(const FlatRows &X, const std::vector<double> &Y) {
   assert(X.size() == Y.size() && !X.empty() && "bad training batch");
-  DataX.clear();
-  DataY.clear();
+  DataX = X;
+  DataY = Y;
+  Dims = DataX.dim();
   Particles.clear();
-  Generator = Rng(Config.Seed);
+  StepCounter = 0;
+  LastEss = double(Config.NumParticles);
 
   // Empirical prior from the seed batch.
   double Sum = 0.0, Sum2 = 0.0;
@@ -363,48 +552,47 @@ void DynaTree::fit(const std::vector<std::vector<double>> &X,
   // E[sigma^2] = B0/(A0-1) == PriorScaleFactor * seed variance: the prior
   // expects leaves to explain most of the global variance.
   PriorScale = Config.PriorScaleFactor * Var * (Config.PriorShape - 1.0);
+  LogGammaA0 = logGamma(Config.PriorShape);
+  LogB0 = std::log(PriorScale);
+  LogK0 = std::log(Config.PriorKappa);
+  ensureMarginalTables(Y.size() + 2);
 
-  // All particles start as a single empty root leaf.
-  Particle Root;
-  Root.Nodes.emplace_back();
-  Particles.assign(Config.NumParticles, Root);
-
-  for (size_t I = 0; I != X.size(); ++I)
-    update(X[I], Y[I]);
-}
-
-void DynaTree::update(const std::vector<double> &X, double Y) {
-  assert(!Particles.empty() && "fit() must seed the model first");
-  uint32_t PointIdx = uint32_t(DataX.size());
-  DataX.push_back(X);
-  DataY.push_back(Y);
-
-  // 1-2. Reweight by posterior predictive and resample (skip while the
-  // ensemble is still nearly empty — the weights would all be equal).
-  if (PointIdx >= 2) {
-    std::vector<double> LogW(Particles.size());
-    for (size_t I = 0; I != Particles.size(); ++I) {
-      const Particle &P = Particles[I];
-      int32_t Leaf = findLeaf(P, X);
-      LogW[I] = logPredictive(P.Nodes[Leaf], Y);
-    }
-    resample(LogW, Generator);
-  }
-
-  // 3-4. Propagate every particle with a local stay/prune/grow move.
+  // Batched seed ingestion: all particles share ONE empty root tree
+  // (copy-on-write makes that a single allocation for the whole
+  // ensemble), and seed points are propagated without reweighting or
+  // resampling — the ensemble must not be culled against a half-built
+  // posterior.  SMC reweighting starts with the first update().
+  auto Root = std::make_shared<Tree>();
+  Root->Nodes.emplace_back();
+  pushBoundsSlot(*Root);
+  Particles.assign(Config.NumParticles, Particle());
   for (Particle &P : Particles)
-    propagate(P, PointIdx, Generator);
+    P.T = Root;
+
+  for (uint32_t I = 0; I != uint32_t(X.size()); ++I)
+    ingest(I, /*Resample=*/false);
 }
 
-Prediction DynaTree::predict(const std::vector<double> &X) const {
+void DynaTree::update(RowRef X, double Y) {
+  assert(!Particles.empty() && "fit() must seed the model first");
+  uint32_t PointIdx = uint32_t(DataY.size());
+  DataX.push(X);
+  DataY.push_back(Y);
+  ensureMarginalTables(DataY.size() + 2);
+  ingest(PointIdx, /*Resample=*/true);
+}
+
+Prediction DynaTree::predict(RowRef X) const {
   assert(!Particles.empty() && "model not fitted");
+  const double *Xp = X.data();
   // Mixture over particles; variance via the law of total variance.
   double MeanSum = 0.0, VarSum = 0.0, Mean2Sum = 0.0;
   for (const Particle &P : Particles) {
-    Prediction Leaf = leafPredictive(P.Nodes[findLeaf(P, X)]);
-    MeanSum += Leaf.Mean;
-    VarSum += Leaf.Variance;
-    Mean2Sum += Leaf.Mean * Leaf.Mean;
+    int32_t Leaf = findLeaf(*P.T, Xp);
+    Prediction LeafP = leafPredictive(leafStats(P, Leaf));
+    MeanSum += LeafP.Mean;
+    VarSum += LeafP.Variance;
+    Mean2Sum += LeafP.Mean * LeafP.Mean;
   }
   double Np = double(Particles.size());
   Prediction Out;
@@ -415,10 +603,9 @@ Prediction DynaTree::predict(const std::vector<double> &X) const {
   return Out;
 }
 
-std::vector<double> DynaTree::alcScores(
-    const std::vector<std::vector<double>> &Candidates,
-    const std::vector<std::vector<double>> &Reference,
-    const ScoreContext &Ctx) const {
+std::vector<double> DynaTree::alcScores(const FlatRows &Candidates,
+                                        const FlatRows &Reference,
+                                        const ScoreContext &Ctx) const {
   assert(!Particles.empty() && "model not fitted");
   // Each candidate's score is the particle average of refCount(leaf) *
   // expected variance drop — the closed form of Cohn's ALC under constant
@@ -430,9 +617,9 @@ std::vector<double> DynaTree::alcScores(
   std::vector<std::vector<uint32_t>> RefCounts(Np);
   shardedFor(Ctx.Pool, Np, 8, [&](size_t, size_t Begin, size_t End) {
     for (size_t P = Begin; P != End; ++P) {
-      RefCounts[P].assign(Particles[P].Nodes.size(), 0);
-      for (const auto &R : Reference)
-        ++RefCounts[P][size_t(findLeaf(Particles[P], R))];
+      RefCounts[P].assign(Particles[P].T->Nodes.size(), 0);
+      for (size_t R = 0; R != Reference.size(); ++R)
+        ++RefCounts[P][size_t(findLeaf(*Particles[P].T, Reference.row(R)))];
     }
   });
 
@@ -440,13 +627,14 @@ std::vector<double> DynaTree::alcScores(
   shardedFor(Ctx.Pool, Candidates.size(), Ctx.ShardSize,
              [&](size_t, size_t Begin, size_t End) {
     for (size_t C = Begin; C != End; ++C) {
+      const double *Row = Candidates.row(C);
       double Total = 0.0;
       for (size_t P = 0; P != Np; ++P) {
-        int32_t Leaf = findLeaf(Particles[P], Candidates[C]);
+        int32_t Leaf = findLeaf(*Particles[P].T, Row);
         uint32_t Count = RefCounts[P][size_t(Leaf)];
         if (Count != 0)
           Total += double(Count) *
-                   leafVarianceDrop(Particles[P].Nodes[size_t(Leaf)]);
+                   leafVarianceDrop(leafStats(Particles[P], Leaf));
       }
       Scores[C] = Total / double(Np);
     }
@@ -458,9 +646,15 @@ double DynaTree::averageLeafCount() const {
   double Total = 0.0;
   for (const Particle &P : Particles) {
     unsigned Leaves = 0;
-    for (const Node &N : P.Nodes)
-      if (N.Left < 0 && (N.Count > 0 || N.Parent >= 0 || P.Nodes.size() == 1))
+    const std::vector<Node> &Nodes = P.T->Nodes;
+    for (size_t I = 0; I != Nodes.size(); ++I) {
+      const Node &N = Nodes[I];
+      if (N.Left >= 0)
+        continue;
+      uint32_t EffCount = leafStats(P, int32_t(I)).Count;
+      if (EffCount > 0 || N.Parent >= 0 || Nodes.size() == 1)
         ++Leaves;
+    }
     Total += double(Leaves);
   }
   return Total / double(Particles.size());
@@ -470,7 +664,7 @@ double DynaTree::averageDepth() const {
   double Total = 0.0;
   for (const Particle &P : Particles) {
     unsigned MaxDepth = 0;
-    for (const Node &N : P.Nodes)
+    for (const Node &N : P.T->Nodes)
       if (N.Left < 0)
         MaxDepth = std::max(MaxDepth, unsigned(N.Depth));
     Total += double(MaxDepth);

@@ -27,6 +27,26 @@
 /// the paper's Section 3.2 lists as the reasons to prefer dynamic trees
 /// over GPs for active learning.
 ///
+/// The particle engine is built for throughput at the paper's N = 5000:
+///
+///  * **Flat storage.**  Training rows live in one contiguous FlatRows
+///    buffer; each particle's tree is a POD node arena, a pooled chunk
+///    list of per-leaf point indices, and cached leaf bounding boxes.
+///    Copying a tree is three vector copies — no per-leaf heap
+///    allocations.
+///
+///  * **Copy-on-write resampling.**  Systematic resampling only copies a
+///    shared_ptr per offspring.  The common post-resample move ("stay")
+///    appends a (leaf, point) entry to a small per-particle pending list;
+///    the shared tree is cloned only when a particle mutates structurally
+///    (grow/prune) or its pending list fills up.
+///
+///  * **Deterministic parallel updates.**  Reweighting and propagation
+///    shard across a ThreadPool on a fixed particle grid; every particle
+///    draws from its own counter-derived RNG stream (seed, step, index),
+///    so results are bit-identical at any thread count — the same
+///    discipline ScoreContext::shardSeed established for scoring.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALIC_DYNATREE_DYNATREE_H
@@ -35,15 +55,19 @@
 #include "model/SurrogateModel.h"
 #include "support/Rng.h"
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace alic {
 
+class ThreadPool;
+
 /// Tuning constants of the dynamic-tree model.
 struct DynaTreeConfig {
-  /// Number of SMC particles (the paper runs N = 5000).
-  unsigned NumParticles = 1000;
+  /// Number of SMC particles (the paper's Section 4.4 value).
+  unsigned NumParticles = 5000;
 
   /// Tree prior: p_split(depth) = SplitAlpha * (1 + depth)^-SplitBeta
   /// (Chipman, George & McCulloch).
@@ -73,15 +97,15 @@ class DynaTree : public SurrogateModel {
 public:
   explicit DynaTree(DynaTreeConfig Config = DynaTreeConfig());
 
-  void fit(const std::vector<std::vector<double>> &X,
-           const std::vector<double> &Y) override;
-  void update(const std::vector<double> &X, double Y) override;
-  Prediction predict(const std::vector<double> &X) const override;
-  std::vector<double>
-  alcScores(const std::vector<std::vector<double>> &Candidates,
-            const std::vector<std::vector<double>> &Reference,
-            const ScoreContext &Ctx = ScoreContext()) const override;
-  size_t numObservations() const override { return DataX.size(); }
+  void fit(const FlatRows &X, const std::vector<double> &Y) override;
+  void update(RowRef X, double Y) override;
+  Prediction predict(RowRef X) const override;
+  std::vector<double> alcScores(const FlatRows &Candidates,
+                                const FlatRows &Reference,
+                                const ScoreContext &Ctx = ScoreContext())
+      const override;
+  size_t numObservations() const override { return DataY.size(); }
+  void setThreadPool(ThreadPool *Pool) override { Workers = Pool; }
 
   /// Ensemble diagnostics (tests, benches).
   double averageLeafCount() const;
@@ -89,8 +113,18 @@ public:
   double effectiveSampleSize() const { return LastEss; }
 
 private:
+  /// Point-index chunks per leaf are linked lists of fixed-size blocks in
+  /// the tree's pooled chunk arena: appending a point never reallocates
+  /// per-leaf storage, and tree copies are plain vector copies.
+  static constexpr unsigned ChunkCapacity = 10;
+  struct PtsChunk {
+    int32_t Next = -1; ///< next (older) chunk, -1 terminates
+    uint32_t Used = 0;
+    uint32_t Entries[ChunkCapacity];
+  };
+
   struct Node {
-    int32_t Left = -1;   ///< -1 for leaves
+    int32_t Left = -1; ///< -1 for leaves
     int32_t Right = -1;
     int32_t Parent = -1;
     int16_t SplitDim = -1;
@@ -100,49 +134,128 @@ private:
     double SumY = 0.0;
     double SumY2 = 0.0;
     uint32_t Count = 0;
-    std::vector<uint32_t> Points; ///< indices into DataX (leaves only)
+    int32_t PtsHead = -1; ///< head of the leaf's point-chunk list
   };
 
+  /// One tree: a flat node arena (node 0 is the root), the pooled
+  /// point-chunk arena its leaves index into, and per-node bounding boxes
+  /// ([Dims lows, Dims highs] per node, expanded incrementally on absorb
+  /// so grow proposals never rescan a leaf to bound it).  POD vectors
+  /// only, so a clone is three memcpy-style copies.
+  struct Tree {
+    std::vector<Node> Nodes;
+    std::vector<PtsChunk> Chunks;
+    std::vector<double> Bounds;
+  };
+
+  /// A data point absorbed by a "stay" move but not yet written into the
+  /// (possibly shared) tree.
+  struct PendingPoint {
+    int32_t LeafIdx = -1;
+    uint32_t PointIdx = 0;
+  };
+
+  /// Pending "stay" absorptions a particle can defer before it must
+  /// materialize a private tree copy.
+  static constexpr unsigned MaxPending = 8;
+
+  /// One particle: a (possibly shared) tree plus its deferred stays.
+  /// After resampling, duplicates alias the ancestor's tree; a particle
+  /// clones it only on its first structural mutation or when the pending
+  /// list fills up.
   struct Particle {
-    std::vector<Node> Nodes; ///< node 0 is the root
+    std::shared_ptr<Tree> T;
+    std::array<PendingPoint, MaxPending> Pending;
+    uint8_t NumPending = 0;
   };
 
-  /// Index of the leaf of \p P containing \p X.
-  int32_t findLeaf(const Particle &P, const std::vector<double> &X) const;
+  /// Effective sufficient statistics of a leaf: the tree's stored stats
+  /// plus any pending absorptions targeting it.
+  struct LeafStats {
+    uint32_t Count = 0;
+    double SumY = 0.0;
+    double SumY2 = 0.0;
+  };
+
+  /// Index of the leaf of \p T containing \p X (pending points never
+  /// change structure, so the walk needs no overlay checks).
+  int32_t findLeaf(const Tree &T, const double *X) const;
+
+  LeafStats leafStats(const Particle &P, int32_t LeafIdx) const;
+
+  /// Invokes \p Fn(PointIdx) for every point of leaf \p LeafIdx,
+  /// including pending ones, in a deterministic order.
+  template <typename Fn>
+  void forEachLeafPoint(const Particle &P, int32_t LeafIdx, Fn &&F) const;
 
   /// Log marginal likelihood of a leaf with the given sufficient stats.
   double logMarginal(uint32_t N, double SumY, double SumY2) const;
 
   /// Log posterior predictive density of \p Y at a leaf.
-  double logPredictive(const Node &Leaf, double Y) const;
+  double logPredictive(const LeafStats &S, double Y) const;
 
   /// Leaf predictive mean/variance.
-  Prediction leafPredictive(const Node &Leaf) const;
+  Prediction leafPredictive(const LeafStats &S) const;
 
   /// Expected drop in a leaf's predictive variance from one extra sample.
-  double leafVarianceDrop(const Node &Leaf) const;
+  double leafVarianceDrop(const LeafStats &S) const;
 
   /// p_split at \p Depth.
   double splitProbability(unsigned Depth) const;
 
+  /// Gives \p P sole ownership of its tree with all pending points
+  /// flushed: in place when already unique, by cloning when shared.
+  /// Either path produces bit-identical tree contents.
+  void materialize(Particle &P);
+
+  /// Absorbs point \p PointIdx into leaf \p LeafIdx of the (uniquely
+  /// owned) tree \p T, expanding the leaf's bounding box.
+  void absorbInto(Tree &T, int32_t LeafIdx, uint32_t PointIdx);
+
+  /// Appends one node's (empty) bounding-box slot to \p T.
+  void pushBoundsSlot(Tree &T) const;
+
   /// Applies one stay/prune/grow move for the new point \p PointIdx.
   void propagate(Particle &P, uint32_t PointIdx, Rng &R);
 
-  /// Absorbs a data point into leaf \p LeafIdx of \p P.
-  void absorb(Particle &P, int32_t LeafIdx, uint32_t PointIdx);
+  /// SMC step for one point: optional reweight+resample, then parallel
+  /// propagation.  \p Resample is false during batched seeding.
+  void ingest(uint32_t PointIdx, bool Resample);
 
-  /// Systematic resampling by normalized weights; preserves determinism.
-  void resample(const std::vector<double> &LogWeights, Rng &R);
+  /// Systematic resampling by normalized weights (counter-based pivot
+  /// draw); shares trees copy-on-write instead of cloning them.
+  void resampleParticles(const std::vector<double> &LogWeights);
+
+  /// Counter-derived RNG stream of particle \p Index at SMC step \p Step:
+  /// a pure function of (Config.Seed, Step, Index), so neither thread
+  /// count nor particle scheduling order can perturb the draws.
+  Rng particleRng(uint64_t Step, size_t Index) const;
+
+  /// Extends the count-indexed logMarginal term tables to cover leaf
+  /// counts up to \p MaxN.  Called single-threaded (fit/update) before
+  /// any parallel phase reads them.
+  void ensureMarginalTables(size_t MaxN);
 
   DynaTreeConfig Config;
   std::vector<Particle> Particles;
-  std::vector<std::vector<double>> DataX;
+  size_t Dims = 0; ///< feature dimensionality (fixed by fit())
+  FlatRows DataX;
   std::vector<double> DataY;
   // Empirical NIG prior (set from seed data).
   double PriorMean = 0.0;
   double PriorScale = 1.0; ///< b0 of the inverse gamma
+  // Memoized logMarginal terms: every leaf count N maps An = A0 + N/2 and
+  // Kn = K0 + N onto fixed grids, so the two logGamma and two of the
+  // three log evaluations per call become table reads.  Entries hold the
+  // exact values the direct evaluation would produce (bit-identical).
+  std::vector<double> LogGammaAnTable; ///< logGamma(A0 + 0.5 * N)
+  std::vector<double> LogKnTable;      ///< log(K0 + N)
+  double LogGammaA0 = 0.0;
+  double LogB0 = 0.0;
+  double LogK0 = 0.0;
   double LastEss = 0.0;
-  Rng Generator;
+  uint64_t StepCounter = 0; ///< SMC steps performed (one per point)
+  ThreadPool *Workers = nullptr;
 };
 
 } // namespace alic

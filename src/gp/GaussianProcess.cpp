@@ -14,8 +14,7 @@ using namespace alic;
 GaussianProcess::GaussianProcess(GpConfig Config)
     : Config(Config), Params(Config.Init) {}
 
-double GaussianProcess::kernel(const std::vector<double> &A,
-                               const std::vector<double> &B) const {
+double GaussianProcess::kernel(RowRef A, RowRef B) const {
   double D2 = squaredDistance(A, B);
   return Params.SignalVariance *
          std::exp(-0.5 * D2 / (Params.LengthScale * Params.LengthScale));
@@ -67,7 +66,7 @@ void GaussianProcess::updateIncremental() {
     refitWith(Params);
     return;
   }
-  const std::vector<double> &X = DataX.back();
+  RowRef X = DataX[N - 1];
   std::vector<double> Border(N - 1);
   for (size_t I = 0; I != N - 1; ++I)
     Border[I] = kernel(X, DataX[I]);
@@ -80,7 +79,7 @@ void GaussianProcess::updateIncremental() {
     std::optional<Cholesky> Saved = Factor;
     refitWith(Params);
     if (!Factor) {
-      DataX.pop_back();
+      DataX.popRow();
       DataY.pop_back();
       Factor = std::move(Saved);
     }
@@ -89,8 +88,7 @@ void GaussianProcess::updateIncremental() {
   recomputeWeights();
 }
 
-void GaussianProcess::fit(const std::vector<std::vector<double>> &X,
-                          const std::vector<double> &Y) {
+void GaussianProcess::fit(const FlatRows &X, const std::vector<double> &Y) {
   assert(X.size() == Y.size() && !X.empty() && "bad training batch");
   DataX = X;
   DataY = Y;
@@ -128,8 +126,8 @@ void GaussianProcess::fit(const std::vector<std::vector<double>> &X,
   refitWith(Best);
 }
 
-void GaussianProcess::update(const std::vector<double> &X, double Y) {
-  DataX.push_back(X);
+void GaussianProcess::update(RowRef X, double Y) {
+  DataX.push(X);
   DataY.push_back(Y);
   switch (Config.Update) {
   case GpUpdateMode::Incremental:
@@ -143,7 +141,7 @@ void GaussianProcess::update(const std::vector<double> &X, double Y) {
   }
 }
 
-Prediction GaussianProcess::predict(const std::vector<double> &X) const {
+Prediction GaussianProcess::predict(RowRef X) const {
   assert(Factor && "GP not fitted");
   // Alpha (not DataX) bounds the fitted prefix: under Deferred updates
   // the newest points are buffered and must not be indexed here.
@@ -164,10 +162,9 @@ Prediction GaussianProcess::predict(const std::vector<double> &X) const {
   return Out;
 }
 
-std::vector<double> GaussianProcess::alcScores(
-    const std::vector<std::vector<double>> &Candidates,
-    const std::vector<std::vector<double>> &Reference,
-    const ScoreContext &Ctx) const {
+std::vector<double> GaussianProcess::alcScores(const FlatRows &Candidates,
+                                               const FlatRows &Reference,
+                                               const ScoreContext &Ctx) const {
   assert(Factor && "GP not fitted");
   // Exact GP ALC: adding candidate x reduces Var(ref r) by
   //   cov(r, x | data)^2 / (var(x | data) + noise).
@@ -192,7 +189,7 @@ std::vector<double> GaussianProcess::alcScores(
   shardedFor(Ctx.Pool, Candidates.size(), Ctx.ShardSize,
              [&](size_t, size_t Begin, size_t End) {
     for (size_t C = Begin; C != End; ++C) {
-      const auto &X = Candidates[C];
+      RowRef X = Candidates[C];
       std::vector<double> Kx(N);
       for (size_t I = 0; I != N; ++I)
         Kx[I] = kernel(X, DataX[I]);

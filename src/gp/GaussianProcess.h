@@ -71,14 +71,13 @@ class GaussianProcess : public SurrogateModel {
 public:
   explicit GaussianProcess(GpConfig Config = GpConfig());
 
-  void fit(const std::vector<std::vector<double>> &X,
-           const std::vector<double> &Y) override;
-  void update(const std::vector<double> &X, double Y) override;
-  Prediction predict(const std::vector<double> &X) const override;
-  std::vector<double>
-  alcScores(const std::vector<std::vector<double>> &Candidates,
-            const std::vector<std::vector<double>> &Reference,
-            const ScoreContext &Ctx = ScoreContext()) const override;
+  void fit(const FlatRows &X, const std::vector<double> &Y) override;
+  void update(RowRef X, double Y) override;
+  Prediction predict(RowRef X) const override;
+  std::vector<double> alcScores(const FlatRows &Candidates,
+                                const FlatRows &Reference,
+                                const ScoreContext &Ctx = ScoreContext())
+      const override;
   size_t numObservations() const override { return DataX.size(); }
 
   /// Log marginal likelihood of the current fit.
@@ -92,8 +91,7 @@ public:
   void refit();
 
 private:
-  double kernel(const std::vector<double> &A,
-                const std::vector<double> &B) const;
+  double kernel(RowRef A, RowRef B) const;
   double refitWith(const GpHyperParams &P);
   /// Recomputes the data mean, weights, and log marginal likelihood from
   /// the current factor (O(n^2)); shared by the refit and incremental
@@ -104,7 +102,7 @@ private:
 
   GpConfig Config;
   GpHyperParams Params;
-  std::vector<std::vector<double>> DataX;
+  FlatRows DataX; ///< contiguous row-major training rows (SoA layout)
   std::vector<double> DataY;
   double MeanY = 0.0;
   std::optional<Cholesky> Factor;

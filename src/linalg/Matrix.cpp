@@ -80,8 +80,7 @@ double alic::dotProduct(const std::vector<double> &A,
   return Sum;
 }
 
-double alic::squaredDistance(const std::vector<double> &A,
-                             const std::vector<double> &B) {
+double alic::squaredDistance(RowRef A, RowRef B) {
   assert(A.size() == B.size() && "distance size mismatch");
   double Sum = 0.0;
   for (size_t I = 0; I != A.size(); ++I) {

@@ -16,6 +16,8 @@
 #ifndef ALIC_LINALG_MATRIX_H
 #define ALIC_LINALG_MATRIX_H
 
+#include "support/FlatRows.h"
+
 #include <cstddef>
 #include <vector>
 
@@ -63,9 +65,9 @@ private:
 /// Dot product of equally sized vectors.
 double dotProduct(const std::vector<double> &A, const std::vector<double> &B);
 
-/// Squared Euclidean distance between equally sized vectors.
-double squaredDistance(const std::vector<double> &A,
-                       const std::vector<double> &B);
+/// Squared Euclidean distance between equally sized rows (accepts
+/// std::vector<double> and FlatRows rows alike via RowRef).
+double squaredDistance(RowRef A, RowRef B);
 
 } // namespace alic
 

@@ -3,6 +3,7 @@
 #include "measure/Profiler.h"
 
 #include "support/Error.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 
@@ -21,18 +22,27 @@ Profiler::ConfigState &Profiler::stateFor(const Config &C,
   if (State.CachedMean < 0.0) {
     State.CachedMean = Oracle.meanRuntimeSeconds(C);
     State.CachedSigmaRel = noiseSigmaRel(Oracle.noise(), Oracle.space(), C);
-    if (ChargeCompile) {
-      Ledger.CompileSeconds += Oracle.compileSeconds(C);
-      ++Ledger.Compilations;
-    }
+  }
+  if (ChargeCompile && !State.Compiled) {
+    State.Compiled = true;
+    Ledger.CompileSeconds += Oracle.compileSeconds(C);
+    ++Ledger.Compilations;
   }
   return State;
 }
 
+double Profiler::observationAt(const Config &C, uint64_t SampleIndex) {
+  // Pure counter-based stream: (StreamSeed, config key, index) fully
+  // determine the sample, so measurement order can never change it.
+  ConfigState &State = stateFor(C, /*ChargeCompile=*/false);
+  uint64_t Stream = hashCombine({StreamSeed, Oracle.space().key(C)});
+  return drawMeasurement(Oracle.noise(), State.CachedMean,
+                         State.CachedSigmaRel, Stream, SampleIndex);
+}
+
 double Profiler::measureOnce(const Config &C) {
   ConfigState &State = stateFor(C, /*ChargeCompile=*/true);
-  uint64_t Key = Oracle.space().key(C);
-  uint64_t Stream = hashCombine({StreamSeed, Key});
+  uint64_t Stream = hashCombine({StreamSeed, Oracle.space().key(C)});
   double Observation =
       drawMeasurement(Oracle.noise(), State.CachedMean, State.CachedSigmaRel,
                       Stream, State.Observations);
@@ -47,6 +57,47 @@ std::vector<double> Profiler::measure(const Config &C, unsigned Count) {
   Observations.reserve(Count);
   for (unsigned I = 0; I != Count; ++I)
     Observations.push_back(measureOnce(C));
+  return Observations;
+}
+
+std::vector<double> Profiler::measureBatch(const std::vector<Config> &Batch,
+                                           ThreadPool *Pool) {
+  // Serial pass: resolve per-config state (charging compilations in batch
+  // order) and assign each entry its observation index.  Duplicated
+  // configurations get consecutive indices, exactly as sequential
+  // measureOnce calls would.
+  struct Draw {
+    double Mean;
+    double SigmaRel;
+    uint64_t Stream;
+    uint64_t Index;
+  };
+  std::vector<Draw> Draws;
+  Draws.reserve(Batch.size());
+  for (const Config &C : Batch) {
+    ConfigState &State = stateFor(C, /*ChargeCompile=*/true);
+    Draws.push_back({State.CachedMean, State.CachedSigmaRel,
+                     hashCombine({StreamSeed, Oracle.space().key(C)}),
+                     State.Observations});
+    ++State.Observations;
+  }
+
+  // Parallel pass: the draws are pure functions of their stream and
+  // index, so sharding writes disjoint outputs with no shared state.
+  std::vector<double> Observations(Batch.size());
+  const NoiseProfile &Noise = Oracle.noise();
+  shardedFor(Pool, Draws.size(), 16, [&](size_t, size_t Begin, size_t End) {
+    for (size_t I = Begin; I != End; ++I)
+      Observations[I] = drawMeasurement(Noise, Draws[I].Mean,
+                                        Draws[I].SigmaRel, Draws[I].Stream,
+                                        Draws[I].Index);
+  });
+
+  // Serial pass: charge the ledger in batch order.
+  for (double Observation : Observations) {
+    Ledger.RunSeconds += Observation;
+    ++Ledger.Runs;
+  }
   return Observations;
 }
 

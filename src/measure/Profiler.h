@@ -27,6 +27,8 @@
 
 namespace alic {
 
+class ThreadPool;
+
 /// Ground-truth provider for one tunable workload.
 class WorkloadOracle {
 public:
@@ -56,6 +58,12 @@ struct CostLedger {
 };
 
 /// Draws noisy measurements and accounts for their cost.
+///
+/// Noise streams are *counter-based*: observation k of configuration C is
+/// a pure function of (StreamSeed, key(C), k), never of profiler state or
+/// of the order in which other configurations were measured.  That makes
+/// interleaved, batched, and sharded measurement all replay bit-identical
+/// per-config samples — the prerequisite for parallelizing measurement.
 class Profiler {
 public:
   /// \p StreamSeed decorrelates noise across experiment repetitions while
@@ -69,6 +77,19 @@ public:
 
   /// Profiles \p C \p Count times and returns all observations.
   std::vector<double> measure(const Config &C, unsigned Count);
+
+  /// Profiles every configuration of \p Batch once, sharding the noise
+  /// draws across \p Pool (nullptr measures inline).  Bit-identical to
+  /// calling measureOnce on each entry in order — duplicates in the batch
+  /// receive consecutive per-config observation indices — because samples
+  /// are counter-based; the ledger is charged serially in batch order.
+  std::vector<double> measureBatch(const std::vector<Config> &Batch,
+                                   ThreadPool *Pool = nullptr);
+
+  /// The value observation \p SampleIndex of \p C would have: a pure
+  /// function of (StreamSeed, key(C), SampleIndex).  Does not advance the
+  /// per-config counter and charges nothing.
+  double observationAt(const Config &C, uint64_t SampleIndex);
 
   /// Number of observations taken for \p C so far.
   unsigned observationCount(const Config &C) const;
@@ -84,11 +105,15 @@ private:
   const WorkloadOracle &Oracle;
   uint64_t StreamSeed;
   CostLedger Ledger;
-  // Per-config state: observation count and cached ground truth.
+  // Per-config state: observation count and cached ground truth.  The
+  // compile charge is tracked separately from the cache so evaluation-only
+  // accessors (groundTruthMean, observationAt) can warm the cache without
+  // suppressing the charge a later real measurement must pay.
   struct ConfigState {
     unsigned Observations = 0;
     double CachedMean = -1.0;
     double CachedSigmaRel = -1.0;
+    bool Compiled = false;
   };
   std::unordered_map<uint64_t, ConfigState> States;
 

@@ -12,20 +12,18 @@
 
 using namespace alic;
 
-void KnnModel::fit(const std::vector<std::vector<double>> &X,
-                   const std::vector<double> &Y) {
+void KnnModel::fit(const FlatRows &X, const std::vector<double> &Y) {
   assert(X.size() == Y.size() && "bad training batch");
   DataX = X;
   DataY = Y;
 }
 
-void KnnModel::update(const std::vector<double> &X, double Y) {
-  DataX.push_back(X);
+void KnnModel::update(RowRef X, double Y) {
+  DataX.push(X);
   DataY.push_back(Y);
 }
 
-KnnModel::NeighborStats
-KnnModel::neighborStats(const std::vector<double> &X) const {
+KnnModel::NeighborStats KnnModel::neighborStats(RowRef X) const {
   assert(!DataX.empty() && "k-NN model has no data");
   // Collect the K nearest points (partial selection on squared distance).
   size_t N = DataX.size();
@@ -53,15 +51,14 @@ KnnModel::neighborStats(const std::vector<double> &X) const {
   return S;
 }
 
-Prediction KnnModel::predict(const std::vector<double> &X) const {
+Prediction KnnModel::predict(RowRef X) const {
   NeighborStats S = neighborStats(X);
   return {S.Mean, S.Variance};
 }
 
-std::vector<double> KnnModel::alcScores(
-    const std::vector<std::vector<double>> &Candidates,
-    const std::vector<std::vector<double>> &Reference,
-    const ScoreContext &Ctx) const {
+std::vector<double> KnnModel::alcScores(const FlatRows &Candidates,
+                                        const FlatRows &Reference,
+                                        const ScoreContext &Ctx) const {
   // Per-reference stats are candidate-independent: compute them once, in
   // disjoint-write shards.
   std::vector<NeighborStats> RefStats(Reference.size());

@@ -34,14 +34,13 @@ public:
   explicit KnnModel(unsigned K = 5, double Epsilon = 1e-6)
       : K(K), Epsilon(Epsilon) {}
 
-  void fit(const std::vector<std::vector<double>> &X,
-           const std::vector<double> &Y) override;
-  void update(const std::vector<double> &X, double Y) override;
-  Prediction predict(const std::vector<double> &X) const override;
-  std::vector<double>
-  alcScores(const std::vector<std::vector<double>> &Candidates,
-            const std::vector<std::vector<double>> &Reference,
-            const ScoreContext &Ctx = ScoreContext()) const override;
+  void fit(const FlatRows &X, const std::vector<double> &Y) override;
+  void update(RowRef X, double Y) override;
+  Prediction predict(RowRef X) const override;
+  std::vector<double> alcScores(const FlatRows &Candidates,
+                                const FlatRows &Reference,
+                                const ScoreContext &Ctx = ScoreContext())
+      const override;
   size_t numObservations() const override { return DataX.size(); }
 
 private:
@@ -51,11 +50,11 @@ private:
     double Variance = 0.0;
     double WeightSum = 0.0; ///< kernel mass of the k nearest points
   };
-  NeighborStats neighborStats(const std::vector<double> &X) const;
+  NeighborStats neighborStats(RowRef X) const;
 
   unsigned K;
   double Epsilon;
-  std::vector<std::vector<double>> DataX;
+  FlatRows DataX; ///< contiguous row-major training rows (SoA layout)
   std::vector<double> DataY;
 };
 

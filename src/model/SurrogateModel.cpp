@@ -13,9 +13,8 @@ uint64_t ScoreContext::shardSeed(size_t Shard) const {
 
 SurrogateModel::~SurrogateModel() = default;
 
-std::vector<double> SurrogateModel::almScores(
-    const std::vector<std::vector<double>> &Candidates,
-    const ScoreContext &Ctx) const {
+std::vector<double> SurrogateModel::almScores(const FlatRows &Candidates,
+                                              const ScoreContext &Ctx) const {
   std::vector<double> Scores(Candidates.size());
   shardedFor(Ctx.Pool, Candidates.size(), Ctx.ShardSize,
              [&](size_t, size_t Begin, size_t End) {
@@ -25,10 +24,9 @@ std::vector<double> SurrogateModel::almScores(
   return Scores;
 }
 
-std::vector<double> SurrogateModel::alcScores(
-    const std::vector<std::vector<double>> &Candidates,
-    const std::vector<std::vector<double>> &Reference,
-    const ScoreContext &Ctx) const {
+std::vector<double> SurrogateModel::alcScores(const FlatRows &Candidates,
+                                              const FlatRows &Reference,
+                                              const ScoreContext &Ctx) const {
   // Fallback: models without a closed-form ALC reduce to ALM.
   (void)Reference;
   return almScores(Candidates, Ctx);

@@ -20,6 +20,8 @@
 #ifndef ALIC_MODEL_SURROGATEMODEL_H
 #define ALIC_MODEL_SURROGATEMODEL_H
 
+#include "support/FlatRows.h"
+
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -58,24 +60,29 @@ struct ScoreContext {
 };
 
 /// Interface of all runtime-prediction surrogates.
+///
+/// Training data, candidate batches, and reference sets travel as
+/// FlatRows — one contiguous row-major buffer — so models never
+/// re-materialize per-row vectors in their hot loops.  Plain
+/// std::vector<std::vector<double>> and braced literals convert
+/// implicitly at call sites.
 class SurrogateModel {
 public:
   virtual ~SurrogateModel();
 
   /// Resets the model and trains on a batch.
-  virtual void fit(const std::vector<std::vector<double>> &X,
-                   const std::vector<double> &Y) = 0;
+  virtual void fit(const FlatRows &X, const std::vector<double> &Y) = 0;
 
   /// Incorporates one observation.
-  virtual void update(const std::vector<double> &X, double Y) = 0;
+  virtual void update(RowRef X, double Y) = 0;
 
   /// Predictive mean and variance at \p X.
-  virtual Prediction predict(const std::vector<double> &X) const = 0;
+  virtual Prediction predict(RowRef X) const = 0;
 
   /// ALM scores: predictive variance per candidate (higher = more useful).
   /// The default implementation shards predict() over \p Ctx.
   virtual std::vector<double>
-  almScores(const std::vector<std::vector<double>> &Candidates,
+  almScores(const FlatRows &Candidates,
             const ScoreContext &Ctx = ScoreContext()) const;
 
   /// ALC scores: expected reduction of summed predictive variance over
@@ -84,12 +91,17 @@ public:
   /// the result must be bit-identical to the sequential run.  The default
   /// implementation falls back to ALM.
   virtual std::vector<double>
-  alcScores(const std::vector<std::vector<double>> &Candidates,
-            const std::vector<std::vector<double>> &Reference,
+  alcScores(const FlatRows &Candidates, const FlatRows &Reference,
             const ScoreContext &Ctx = ScoreContext()) const;
 
   /// Number of observations absorbed so far.
   virtual size_t numObservations() const = 0;
+
+  /// Installs (or removes, with nullptr) a worker pool models may use to
+  /// parallelize their *internal* work — e.g. the dynamic tree shards its
+  /// per-particle SMC update.  Implementations must keep results
+  /// bit-identical at any thread count, including none.
+  virtual void setThreadPool(ThreadPool *Workers) { (void)Workers; }
 };
 
 } // namespace alic

@@ -4,6 +4,7 @@
 #include "measure/Profiler.h"
 #include "spapt/Suite.h"
 #include "stats/OnlineStats.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
@@ -174,4 +175,98 @@ TEST(ProfilerTest, SameSeedReplaysExactly) {
   Config C = B->baselineConfig();
   for (int I = 0; I != 20; ++I)
     EXPECT_EQ(P1.measureOnce(C), P2.measureOnce(C));
+}
+
+TEST(ProfilerTest, PermutedMeasurementOrderYieldsIdenticalSamples) {
+  // The counter-based noise-stream contract: observation k of a config is
+  // a pure function of (StreamSeed, config key, k), so interleaving
+  // measurements of other configs — in any order — can never change the
+  // samples a config receives.  This is the prerequisite for sharding
+  // measurement across workers.
+  auto B = createSpaptBenchmark("mvt");
+  Rng R(123);
+  std::vector<Config> Configs;
+  for (int I = 0; I != 6; ++I)
+    Configs.push_back(B->space().sample(R));
+
+  // Order 1: round-robin.  Order 2: config-major.  Order 3: reversed
+  // round-robin.
+  auto collect = [&](const std::vector<std::pair<int, int>> &Schedule) {
+    Profiler P(*B, 31);
+    std::vector<std::vector<double>> PerConfig(Configs.size());
+    for (auto [ConfigIdx, Rep] : Schedule) {
+      (void)Rep;
+      PerConfig[size_t(ConfigIdx)].push_back(
+          P.measureOnce(Configs[size_t(ConfigIdx)]));
+    }
+    return PerConfig;
+  };
+
+  std::vector<std::pair<int, int>> RoundRobin, ConfigMajor, Reversed;
+  for (int Rep = 0; Rep != 5; ++Rep)
+    for (int I = 0; I != 6; ++I)
+      RoundRobin.push_back({I, Rep});
+  for (int I = 0; I != 6; ++I)
+    for (int Rep = 0; Rep != 5; ++Rep)
+      ConfigMajor.push_back({I, Rep});
+  Reversed.assign(RoundRobin.rbegin(), RoundRobin.rend());
+
+  auto A = collect(RoundRobin);
+  auto Bm = collect(ConfigMajor);
+  auto Cm = collect(Reversed);
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I], Bm[I]) << "config " << I;
+    EXPECT_EQ(A[I], Cm[I]) << "config " << I;
+  }
+}
+
+TEST(ProfilerTest, MeasureBatchMatchesSequentialBitwise) {
+  auto B = createSpaptBenchmark("mvt");
+  Rng R(9);
+  std::vector<Config> Batch;
+  for (int I = 0; I != 12; ++I)
+    Batch.push_back(B->space().sample(R));
+  Batch.push_back(Batch.front()); // duplicate: gets the next sample index
+
+  Profiler Sequential(*B, 17), Batched(*B, 17), Sharded(*B, 17);
+  std::vector<double> Want;
+  for (const Config &C : Batch)
+    Want.push_back(Sequential.measureOnce(C));
+
+  EXPECT_EQ(Want, Batched.measureBatch(Batch));
+  ThreadPool Pool(3);
+  EXPECT_EQ(Want, Sharded.measureBatch(Batch, &Pool));
+
+  EXPECT_EQ(Sequential.ledger().Runs, Batched.ledger().Runs);
+  EXPECT_EQ(Sequential.ledger().Compilations, Batched.ledger().Compilations);
+  EXPECT_DOUBLE_EQ(Sequential.ledger().RunSeconds,
+                   Batched.ledger().RunSeconds);
+}
+
+TEST(ProfilerTest, ObservationAtIsPureAndMatchesMeasureOnce) {
+  auto B = createSpaptBenchmark("mvt");
+  Profiler P(*B, 23), Probe(*B, 23);
+  Config C = B->baselineConfig();
+  // Peeking at future observations neither charges nor perturbs them.
+  double Peek2 = Probe.observationAt(C, 2);
+  EXPECT_EQ(Probe.ledger().Runs, 0u);
+  std::vector<double> Obs = P.measure(C, 4);
+  EXPECT_EQ(Obs[2], Peek2);
+  EXPECT_EQ(Obs[1], Probe.observationAt(C, 1));
+}
+
+TEST(ProfilerTest, EvaluationPeeksDoNotSuppressCompileCharge) {
+  // groundTruthMean/observationAt warm the per-config cache; a later real
+  // measurement must still pay the one-time compile cost.
+  auto B = createSpaptBenchmark("mvt");
+  Profiler P(*B, 23);
+  Config C = B->baselineConfig();
+  P.groundTruthMean(C);
+  P.observationAt(C, 0);
+  EXPECT_EQ(P.ledger().Compilations, 0u);
+  P.measureOnce(C);
+  EXPECT_EQ(P.ledger().Compilations, 1u);
+  EXPECT_GT(P.ledger().CompileSeconds, 0.0);
+  P.measureOnce(C);
+  EXPECT_EQ(P.ledger().Compilations, 1u); // still charged exactly once
 }

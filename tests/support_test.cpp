@@ -2,6 +2,7 @@
 
 #include "support/BigUInt.h"
 #include "support/Env.h"
+#include "support/FlatRows.h"
 #include "support/Format.h"
 #include "support/Rng.h"
 #include "support/Table.h"
@@ -376,4 +377,57 @@ TEST(ThreadPoolTest, ShardedForRunsInlineWithoutPool) {
     Order.push_back(Shard);
   });
   EXPECT_EQ(Order, (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+//===----------------------------------------------------------------------===//
+// FlatRows
+//===----------------------------------------------------------------------===//
+
+TEST(FlatRowsTest, PushFixesDimAndStoresContiguously) {
+  FlatRows Rows;
+  EXPECT_TRUE(Rows.empty());
+  Rows.push({1.0, 2.0, 3.0});
+  Rows.push({4.0, 5.0, 6.0});
+  EXPECT_EQ(Rows.size(), 2u);
+  EXPECT_EQ(Rows.dim(), 3u);
+  EXPECT_EQ(Rows.row(1), Rows.row(0) + 3); // one buffer, row-major
+  EXPECT_DOUBLE_EQ(Rows[1][2], 6.0);
+  EXPECT_EQ(Rows.raw().size(), 6u);
+}
+
+TEST(FlatRowsTest, ConvertsFromNestedVectorsAndIterators) {
+  std::vector<std::vector<double>> Nested = {{1.0, 2.0}, {3.0, 4.0},
+                                             {5.0, 6.0}};
+  FlatRows All = Nested;
+  EXPECT_EQ(All.size(), 3u);
+  EXPECT_DOUBLE_EQ(All[2][1], 6.0);
+
+  FlatRows Sub(Nested.begin() + 1, Nested.end());
+  EXPECT_EQ(Sub.size(), 2u);
+  EXPECT_DOUBLE_EQ(Sub[0][0], 3.0);
+
+  FlatRows Braced = {{7.0}, {8.0}};
+  EXPECT_EQ(Braced.dim(), 1u);
+  EXPECT_DOUBLE_EQ(Braced[1][0], 8.0);
+}
+
+TEST(FlatRowsTest, PopRowAndClear) {
+  FlatRows Rows = {{1.0, 2.0}, {3.0, 4.0}};
+  Rows.popRow();
+  EXPECT_EQ(Rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(Rows[0][1], 2.0);
+  Rows.push({9.0, 9.0});
+  EXPECT_EQ(Rows.size(), 2u);
+  Rows.clear();
+  EXPECT_TRUE(Rows.empty());
+  EXPECT_EQ(Rows.dim(), 2u); // dimensionality survives a clear
+}
+
+TEST(RowRefTest, ViewsVectorsWithoutCopying) {
+  std::vector<double> V = {1.0, 2.0, 3.0};
+  RowRef R = V;
+  EXPECT_EQ(R.data(), V.data());
+  EXPECT_EQ(R.size(), 3u);
+  EXPECT_DOUBLE_EQ(R[1], 2.0);
+  EXPECT_EQ(R.toVector(), V);
 }
