@@ -14,10 +14,12 @@
 #ifndef ALIC_BENCH_BENCHCOMMON_H
 #define ALIC_BENCH_BENCHCOMMON_H
 
+#include "exp/Campaign.h"
 #include "exp/Dataset.h"
 #include "exp/Runner.h"
 #include "exp/Scale.h"
 #include "spapt/Suite.h"
+#include "support/Error.h"
 #include "support/Format.h"
 #include "support/Table.h"
 
@@ -26,9 +28,10 @@
 namespace alic {
 
 /// Seed shared by all replication binaries (datasets decouple from the
-/// learners' measurement streams internally).
-inline constexpr uint64_t BenchDatasetSeed = 0xa11cebe7;
-inline constexpr uint64_t BenchRunSeed = 0x0911fe;
+/// learners' measurement streams internally).  Aliases the campaign
+/// defaults so the renderers and alic_campaign share ledger cells.
+inline constexpr uint64_t BenchDatasetSeed = CampaignDatasetSeed;
+inline constexpr uint64_t BenchRunSeed = CampaignRunSeed;
 
 /// Prints the standard scale banner.
 inline void printScaleBanner(const char *Binary) {
@@ -47,24 +50,48 @@ inline Dataset benchDataset(const SpaptBenchmark &B,
                       BenchDatasetSeed);
 }
 
-/// Result of running all three plans of the paper's Figure 6.
-struct ThreePlanResult {
-  RunResult AllObservations; ///< fixed 35 (the baseline of [4])
-  RunResult OneObservation;  ///< fixed 1
-  RunResult Variable;        ///< the paper's sequential plan
-};
+/// The paper-replication binaries are thin renderers over one shared
+/// campaign (exp/Campaign): this spec covers the default cross-product —
+/// dynamic tree, ALC, batch 1 — over \p Benchmarks (empty = all eleven)
+/// with the three Figure 6 sampling plans at the ambient scale, using the
+/// shared BenchDatasetSeed/BenchRunSeed so results match the historical
+/// standalone runs exactly.
+inline CampaignSpec benchCampaignSpec(std::vector<std::string> Benchmarks = {}) {
+  CampaignSpec Spec;
+  Spec.Scale = ExperimentScale::fromEnv();
+  Spec.ScaleName = scaleName(getScaleKind());
+  Spec.Benchmarks = std::move(Benchmarks);
+  Spec.Plans = defaultCampaignPlans(Spec.Scale);
+  Spec.DatasetSeed = BenchDatasetSeed;
+  Spec.BaseRunSeed = BenchRunSeed;
+  // Only the Table 2 renderer reads the noise summaries; it opts back in.
+  Spec.NoiseCells = false;
+  return Spec;
+}
 
-inline ThreePlanResult runThreePlans(const SpaptBenchmark &B,
-                                     const Dataset &D,
-                                     const ExperimentScale &S) {
-  ThreePlanResult R;
-  R.AllObservations =
-      runAveraged(B, D, SamplingPlan::fixed(35), S, BenchRunSeed);
-  R.OneObservation =
-      runAveraged(B, D, SamplingPlan::fixed(1), S, BenchRunSeed);
-  R.Variable = runAveraged(B, D, SamplingPlan::sequential(S.ObservationCap),
-                           S, BenchRunSeed);
-  return R;
+/// Campaign state shared by every renderer at one scale, so e.g. the
+/// Table 1 and Figure 5 binaries compute their common cells once.
+/// Override the directory with ALIC_CAMPAIGN_DIR and the cell-level
+/// worker count with ALIC_THREADS.
+inline CampaignOptions benchCampaignOptions() {
+  CampaignOptions Options;
+  Options.StateDir = getEnvString(
+      "ALIC_CAMPAIGN_DIR", defaultCampaignStateDir(scaleName(getScaleKind())));
+  int64_t Threads = getEnvInt("ALIC_THREADS", 0);
+  Options.Threads = Threads > 0 ? unsigned(Threads) : 0; // negatives = inline
+  return Options;
+}
+
+/// Runs (or resumes) \p Spec under the shared bench campaign state and
+/// returns the aggregate; aborts if the campaign cannot complete (the
+/// renderers never run with MaxCells).
+inline CampaignResult runBenchCampaign(const CampaignSpec &Spec) {
+  CampaignOptions Options = benchCampaignOptions();
+  CampaignResult Result;
+  if (!runCampaign(Spec, Options, Result))
+    fatalError("bench campaign did not complete (state dir %s)",
+               Options.StateDir.c_str());
+  return Result;
 }
 
 } // namespace alic

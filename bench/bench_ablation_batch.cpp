@@ -37,7 +37,7 @@ int main() {
   std::vector<Row> Rows;
   for (unsigned Batch : Batches) {
     RunOptions Options;
-    Options.BatchSize = Batch;
+    Options.Learner.BatchSize = Batch;
     Rows.push_back({Batch,
                     runAveraged(*B, D, SamplingPlan::sequential(S.ObservationCap),
                                 S, BenchRunSeed, Options)});

@@ -31,7 +31,7 @@ int main() {
         {"random", ScorerKind::Random}};
     for (const auto &[ScorerName, Kind] : Scorers) {
       RunOptions Opt;
-      Opt.Scorer = Kind;
+      Opt.Learner.Scorer = Kind;
       RunResult R = runAveraged(*B, D, SamplingPlan::sequential(35), S,
                                 BenchRunSeed, Opt);
       double RevisitRate =

@@ -1,9 +1,11 @@
 //===- bench/bench_fig5_speedup.cpp - Paper Figure 5 ----------*- C++ -*-===//
 //
 // Regenerates Figure 5: the per-benchmark reduction of profiling cost as a
-// bar chart (ASCII), ordered as in the paper.  Shares the Table 1
-// computation but runs at a reduced repetition count so the whole bench
-// directory stays fast; bench_table1_speedup is the authoritative run.
+// bar chart (ASCII), ordered as in the paper.  A thin renderer over the
+// shared campaign (exp/Campaign): it runs or resumes the default
+// cross-product and reads the per-benchmark lowest-common-error speedups
+// from the aggregate, so bench_table1_speedup and this binary share every
+// checkpointed cell instead of re-running the suite twice.
 //
 //===----------------------------------------------------------------------===//
 
@@ -17,8 +19,6 @@ using namespace alic;
 int main() {
   printScaleBanner("bench_fig5_speedup: Figure 5 — reduction of profiling "
                    "cost vs the 35-observation baseline");
-  ExperimentScale S = ExperimentScale::fromEnv();
-  S.Repetitions = std::max(1u, S.Repetitions / 2);
 
   // Paper's x-axis order for Figure 5.
   const std::vector<std::string> Order = {"adi",       "mm",     "mvt",
@@ -28,16 +28,20 @@ int main() {
   const std::vector<double> PaperBars = {0.29, 1.11, 1.18, 3.55, 3.59, 3.62,
                                          3.69, 7.07, 13.93, 23.52, 26.00};
 
+  CampaignSpec Spec = benchCampaignSpec();
+  CampaignResult Result = runBenchCampaign(Spec);
+
   std::vector<double> Speedups;
   for (const std::string &Name : Order) {
-    auto B = createSpaptBenchmark(Name);
-    Dataset D = benchDataset(*B, S);
-    RunResult Base =
-        runAveraged(*B, D, SamplingPlan::fixed(35), S, BenchRunSeed);
-    RunResult Ours = runAveraged(
-        *B, D, SamplingPlan::sequential(S.ObservationCap), S, BenchRunSeed);
-    Speedups.push_back(compareCurves(Base, Ours).Speedup);
-    std::fprintf(stderr, "  done %s\n", Name.c_str());
+    const ComboResult *Combo = nullptr;
+    for (const ComboResult &Candidate : Result.Combos)
+      if (Candidate.Benchmark == Name) {
+        Combo = &Candidate;
+        break;
+      }
+    if (!Combo)
+      fatalError("campaign aggregate lacks benchmark %s", Name.c_str());
+    Speedups.push_back(Combo->Speedup.Speedup);
   }
 
   std::printf("\n%-12s %-8s %-8s  %s\n", "benchmark", "ours", "paper",

@@ -4,7 +4,9 @@
 // time (profiling + compilation) for the three sampling plans — 35
 // observations, one observation, and the paper's variable-observation
 // approach — on the six benchmarks the paper plots: adi, atax,
-// correlation, gemver, jacobi, mvt.  Series are printed row-wise and also
+// correlation, gemver, jacobi, mvt.  A thin renderer over the shared
+// campaign: curves come from checkpointed cells (full resolution, not the
+// decimated aggregate-JSON summaries), and are printed row-wise plus
 // written to CSV for replotting.
 //
 //===----------------------------------------------------------------------===//
@@ -16,22 +18,26 @@ using namespace alic;
 int main() {
   printScaleBanner("bench_fig6_curves: Figure 6 — RMSE vs evaluation time "
                    "for three sampling plans");
-  ExperimentScale S = ExperimentScale::fromEnv();
 
   const std::vector<std::string> Benchmarks = {"adi",    "atax", "correlation",
                                                "gemver", "jacobi", "mvt"};
+  CampaignSpec Spec = benchCampaignSpec(Benchmarks);
+  CampaignResult Result = runBenchCampaign(Spec);
+
   Table Csv({"benchmark", "plan", "iteration", "cost_seconds", "rmse"});
 
-  for (const std::string &Name : Benchmarks) {
-    auto B = createSpaptBenchmark(Name);
-    Dataset D = benchDataset(*B, S);
-    ThreePlanResult R = runThreePlans(*B, D, S);
-
-    printBanner("Figure 6: " + Name);
+  for (const ComboResult &Combo : Result.Combos) {
+    printBanner("Figure 6: " + Combo.Benchmark);
     const std::pair<const char *, const RunResult *> Plans[] = {
-        {"all observations", &R.AllObservations},
-        {"one observation", &R.OneObservation},
-        {"variable observations", &R.Variable}};
+        {"all observations",
+         Combo.planResult(Spec, SamplingPlan::fixed(35))},
+        {"one observation", Combo.planResult(Spec, SamplingPlan::fixed(1))},
+        {"variable observations",
+         Combo.planResult(Spec,
+                          SamplingPlan::sequential(Spec.Scale.ObservationCap))}};
+    for (const auto &[PlanName, Run] : Plans)
+      if (!Run)
+        fatalError("campaign spec lacks the '%s' plan", PlanName);
     Table Out({"plan", "iter", "cost (s)", "RMSE (s)"});
     for (const auto &[PlanName, Run] : Plans) {
       size_t Stride = std::max<size_t>(1, Run->Curve.size() / 8);
@@ -46,12 +52,12 @@ int main() {
                   formatPaperNumber(End.CostSeconds),
                   formatPaperNumber(End.Rmse)});
       for (const CurvePoint &P : Run->Curve)
-        Csv.addRow({Name, PlanName, std::to_string(P.Iteration),
+        Csv.addRow({Combo.Benchmark, PlanName, std::to_string(P.Iteration),
                     formatString("%.3f", P.CostSeconds),
                     formatString("%.6f", P.Rmse)});
     }
     Out.print();
-    std::fprintf(stderr, "  done %s\n", Name.c_str());
+    std::fprintf(stderr, "  done %s\n", Combo.Benchmark.c_str());
   }
 
   if (Csv.writeCsv("fig6_curves.csv"))

@@ -11,6 +11,10 @@
 // quiet benchmarks (gemver, dgemv3, atax), moderate ones in the middle,
 // near-parity for mm/mvt, and a loss on adi.
 //
+// A thin renderer over the shared campaign (exp/Campaign): the run loop,
+// checkpointing, and lowest-common-error aggregation all live there, so an
+// interrupted table run resumes instead of starting over.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -55,18 +59,19 @@ const PaperRow &paperRow(const std::string &Name) {
 int main() {
   printScaleBanner("bench_table1_speedup: Table 1 — lowest common RMS "
                    "error, profiling cost, speedup");
-  ExperimentScale S = ExperimentScale::fromEnv();
+
+  CampaignSpec Spec = benchCampaignSpec();
+  CampaignResult Result = runBenchCampaign(Spec);
 
   Table Out({"benchmark", "search space", "(paper)", "lowest common RMSE",
              "(paper)", "baseline cost (s)", "ours (s)", "speedup",
              "(paper)"});
   std::vector<double> Speedups;
 
-  for (const std::string &Name : spaptBenchmarkNames()) {
+  for (const ComboResult &Combo : Result.Combos) {
+    const std::string &Name = Combo.Benchmark;
     auto B = createSpaptBenchmark(Name);
-    Dataset D = benchDataset(*B, S);
-    ThreePlanResult R = runThreePlans(*B, D, S);
-    PlanComparison Cmp = compareCurves(R.AllObservations, R.Variable);
+    const PlanComparison &Cmp = Combo.Speedup;
     Speedups.push_back(Cmp.Speedup);
     const PaperRow &Paper = paperRow(Name);
     Out.addRow({Name, B->space().cardinality().toScientific(3),

@@ -6,50 +6,34 @@
 // point: noise is low for many benchmarks but high for others, and varies
 // wildly across a single benchmark's space.
 //
+// A thin renderer over the shared campaign's noise-summary cells: a
+// noise-only spec (no sampling plans) expands to one checkpointed cell per
+// benchmark, computed once and shared with every other renderer's state.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
-#include "measure/Profiler.h"
-#include "stats/OnlineStats.h"
 
 using namespace alic;
 
 int main() {
   printScaleBanner("bench_table2_noise: Table 2 — variance and CI/mean "
                    "spread per benchmark");
-  ExperimentScale S = ExperimentScale::fromEnv();
-  size_t NumConfigs = std::min<size_t>(S.NumConfigs / 4, 600);
+
+  CampaignSpec Spec = benchCampaignSpec();
+  Spec.Plans.clear(); // noise-summary cells only
+  Spec.NoiseCells = true;
+  CampaignResult Result = runBenchCampaign(Spec);
 
   Table Out({"benchmark", "var min", "var mean", "var max", "ci35 min",
              "ci35 mean", "ci35 max", "ci5 min", "ci5 mean", "ci5 max"});
 
-  for (const std::string &Name : spaptBenchmarkNames()) {
-    auto B = createSpaptBenchmark(Name);
-    Rng R(hashCombine({BenchDatasetSeed, 0x7ab1e2ull}));
-    std::vector<Config> Configs = B->space().sampleDistinct(R, NumConfigs);
-    Profiler Prof(*B, 0x5eed);
-
-    OnlineStats Var, Ci35, Ci5;
-    for (const Config &C : Configs) {
-      OnlineStats Runs;
-      for (double Obs : Prof.measure(C, 35))
-        Runs.add(Obs);
-      Var.add(Runs.variance());
-      Ci35.add(Runs.ciOverMean());
-      OnlineStats First5;
-      std::vector<double> Again = Prof.measure(C, 0); // no extra runs
-      (void)Again;
-      // Recompute the 5-sample CI from the first five of the same stream.
-      Profiler Fresh(*B, 0x5eed);
-      OnlineStats Five;
-      for (double Obs : Fresh.measure(C, 5))
-        Five.add(Obs);
-      Ci5.add(Five.ciOverMean());
-    }
+  for (const NoiseSummary &Noise : Result.Noise) {
     auto Fmt = [](double V) { return formatPaperNumber(V); };
-    Out.addRow({Name, Fmt(Var.min()), Fmt(Var.mean()), Fmt(Var.max()),
-                Fmt(Ci35.min()), Fmt(Ci35.mean()), Fmt(Ci35.max()),
-                Fmt(Ci5.min()), Fmt(Ci5.mean()), Fmt(Ci5.max())});
+    Out.addRow({Noise.Benchmark, Fmt(Noise.VarMin), Fmt(Noise.VarMean),
+                Fmt(Noise.VarMax), Fmt(Noise.Ci35Min), Fmt(Noise.Ci35Mean),
+                Fmt(Noise.Ci35Max), Fmt(Noise.Ci5Min), Fmt(Noise.Ci5Mean),
+                Fmt(Noise.Ci5Max)});
   }
   Out.print();
   std::printf(

@@ -1,0 +1,220 @@
+//===- cli/alic_campaign.cpp - Campaign orchestrator CLI ------*- C++ -*-===//
+//
+// Part of the ALIC project: a reproduction of "Minimizing the Cost of
+// Iterative Compilation with Active Learning" (Ogilvie et al., CGO 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives exp/Campaign: one resumable command for the paper's full
+// reproduction cross-product.  Typical use:
+//
+//   ALIC_SCALE=smoke alic_campaign --models=dynatree,gp --scorers=alm,alc
+//       --seeds=2 --threads=8 --state-dir=camp --out=BENCH_campaign.json
+//
+// Kill it at any point; re-running the same command skips every completed
+// cell and produces a byte-identical BENCH_campaign.json.  --max-cells=K
+// stops after K new cells (exit code 75, EX_TEMPFAIL) for deterministic
+// interruption in tests and CI.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Campaign.h"
+#include "spapt/Suite.h"
+#include "support/Env.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace alic;
+
+namespace {
+
+/// Exit code when --max-cells interrupted the campaign before completion.
+constexpr int ExitIncomplete = 75; // EX_TEMPFAIL: retry (resume) later
+
+std::vector<std::string> splitList(const std::string &Csv) {
+  std::vector<std::string> Parts;
+  size_t Pos = 0;
+  while (Pos <= Csv.size()) {
+    size_t Comma = Csv.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Csv.size();
+    if (Comma > Pos)
+      Parts.push_back(Csv.substr(Pos, Comma - Pos));
+    Pos = Comma + 1;
+  }
+  return Parts;
+}
+
+[[noreturn]] void usage(const char *Binary, const char *Complaint) {
+  if (Complaint)
+    std::fprintf(stderr, "error: %s\n\n", Complaint);
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "Sharded, checkpointable experiment campaign over the SPAPT suite.\n"
+      "Scale comes from ALIC_SCALE (smoke|bench|paper; default bench).\n\n"
+      "  --benchmarks=a,b,...  subset of benchmarks (default: all eleven)\n"
+      "  --models=LIST         dynatree,gp (default: dynatree)\n"
+      "  --scorers=LIST        alc,alm,random (default: alc)\n"
+      "  --batches=LIST        step batch sizes (default: 1)\n"
+      "  --seeds=N             repetitions per combo (default: scale's)\n"
+      "  --threads=N           cell-level worker threads (default: 0 = inline)\n"
+      "  --state-dir=DIR       checkpoint ledger + dataset cache location\n"
+      "                        (default: alic-campaign-<scale>)\n"
+      "  --out=PATH            aggregate JSON (default: BENCH_campaign.json)\n"
+      "  --max-cells=K         stop after K new cells, exit %d (resume by\n"
+      "                        re-running; 0 = run to completion)\n"
+      "  --shuffle=SEED        execute missing cells in shuffled order\n"
+      "  --no-noise            skip the per-benchmark noise-summary cells\n",
+      Binary, ExitIncomplete);
+  std::exit(2);
+}
+
+bool parseFlag(const char *Arg, const char *Name, std::string &Value) {
+  size_t Len = std::strlen(Name);
+  if (std::strncmp(Arg, Name, Len) != 0 || Arg[Len] != '=')
+    return false;
+  Value = Arg + Len + 1;
+  return true;
+}
+
+uint64_t parseCount(const char *Binary, const std::string &Text,
+                    const char *What) {
+  // strtoull silently wraps negatives ("-1" -> ~4 billion); reject them.
+  if (Text.empty() || Text.find_first_not_of("0123456789") != std::string::npos)
+    usage(Binary, What);
+  char *End = nullptr;
+  unsigned long long Value = std::strtoull(Text.c_str(), &End, 10);
+  if (End == Text.c_str() || *End != '\0')
+    usage(Binary, What);
+  return Value;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CampaignSpec Spec;
+  Spec.Scale = ExperimentScale::fromEnv();
+  Spec.ScaleName = scaleName(getScaleKind());
+  Spec.Plans = defaultCampaignPlans(Spec.Scale);
+
+  CampaignOptions Options;
+  Options.StateDir = defaultCampaignStateDir(Spec.ScaleName);
+  std::string OutPath = "BENCH_campaign.json";
+
+  for (int I = 1; I != argc; ++I) {
+    std::string Value;
+    if (parseFlag(argv[I], "--benchmarks", Value)) {
+      Spec.Benchmarks = splitList(Value);
+      // An empty list would collide with the "empty means all" default —
+      // likely an unset shell variable, so fail loudly instead.
+      if (Spec.Benchmarks.empty())
+        usage(argv[0], "--benchmarks= given with no benchmarks");
+      const std::vector<std::string> &Known = spaptBenchmarkNames();
+      for (const std::string &Name : Spec.Benchmarks)
+        if (std::find(Known.begin(), Known.end(), Name) == Known.end())
+          usage(argv[0], ("unknown benchmark: " + Name).c_str());
+    } else if (parseFlag(argv[I], "--models", Value)) {
+      Spec.Models.clear();
+      if (splitList(Value).empty())
+        usage(argv[0], "--models= given with no models");
+      for (const std::string &Name : splitList(Value)) {
+        if (Name == "dynatree")
+          Spec.Models.push_back(ModelKind::DynaTree);
+        else if (Name == "gp")
+          Spec.Models.push_back(ModelKind::Gp);
+        else
+          usage(argv[0], ("unknown model: " + Name).c_str());
+      }
+    } else if (parseFlag(argv[I], "--scorers", Value)) {
+      Spec.Scorers.clear();
+      if (splitList(Value).empty())
+        usage(argv[0], "--scorers= given with no scorers");
+      for (const std::string &Name : splitList(Value)) {
+        if (Name == "alc")
+          Spec.Scorers.push_back(ScorerKind::Alc);
+        else if (Name == "alm")
+          Spec.Scorers.push_back(ScorerKind::Alm);
+        else if (Name == "random")
+          Spec.Scorers.push_back(ScorerKind::Random);
+        else
+          usage(argv[0], ("unknown scorer: " + Name).c_str());
+      }
+    } else if (parseFlag(argv[I], "--batches", Value)) {
+      Spec.BatchSizes.clear();
+      if (splitList(Value).empty())
+        usage(argv[0], "--batches= given with no batch sizes");
+      for (const std::string &Text : splitList(Value)) {
+        uint64_t Batch = parseCount(argv[0], Text, "bad --batches value");
+        if (!Batch)
+          usage(argv[0], "batch sizes must be positive");
+        Spec.BatchSizes.push_back(unsigned(Batch));
+      }
+    } else if (parseFlag(argv[I], "--seeds", Value)) {
+      Spec.Repetitions =
+          unsigned(parseCount(argv[0], Value, "bad --seeds value"));
+      if (!Spec.Repetitions)
+        usage(argv[0], "--seeds must be positive");
+    } else if (parseFlag(argv[I], "--threads", Value)) {
+      Options.Threads =
+          unsigned(parseCount(argv[0], Value, "bad --threads value"));
+    } else if (parseFlag(argv[I], "--state-dir", Value)) {
+      Options.StateDir = Value;
+    } else if (parseFlag(argv[I], "--out", Value)) {
+      OutPath = Value;
+    } else if (parseFlag(argv[I], "--max-cells", Value)) {
+      Options.MaxCells =
+          size_t(parseCount(argv[0], Value, "bad --max-cells value"));
+    } else if (parseFlag(argv[I], "--shuffle", Value)) {
+      Options.ShuffleSeed = parseCount(argv[0], Value, "bad --shuffle value");
+    } else if (std::strcmp(argv[I], "--no-noise") == 0) {
+      Spec.NoiseCells = false;
+    } else if (std::strcmp(argv[I], "--help") == 0 ||
+               std::strcmp(argv[I], "-h") == 0) {
+      usage(argv[0], nullptr);
+    } else {
+      usage(argv[0], (std::string("unknown option: ") + argv[I]).c_str());
+    }
+  }
+
+  std::printf("# alic_campaign  [ALIC_SCALE=%s] %zu benchmark(s) x %zu "
+              "model(s) x %zu scorer(s) x %zu batch(es) x %u seed(s), "
+              "state-dir=%s, threads=%u\n",
+              Spec.ScaleName.c_str(), Spec.benchmarkList().size(),
+              Spec.Models.size(), Spec.Scorers.size(), Spec.BatchSizes.size(),
+              Spec.repetitions(), Options.StateDir.c_str(), Options.Threads);
+
+  CampaignProgress Progress = runCampaignCells(Spec, Options);
+  std::printf("cells: %zu total, %zu already checkpointed, %zu run now\n",
+              Progress.TotalCells, Progress.AlreadyDone, Progress.NewlyRun);
+  if (!Progress.Complete) {
+    std::printf("campaign interrupted by --max-cells; re-run the same "
+                "command to resume from %s\n",
+                Options.ledgerPath().c_str());
+    return ExitIncomplete;
+  }
+
+  CampaignResult Result;
+  if (!aggregateCampaign(Spec, Options, Result)) {
+    std::fprintf(stderr, "error: ledger %s is missing cells it just ran\n",
+                 Options.ledgerPath().c_str());
+    return 1;
+  }
+  std::string Json = campaignJson(Spec, Result);
+  std::FILE *Out = std::fopen(OutPath.c_str(), "wb");
+  if (!Out || std::fwrite(Json.data(), 1, Json.size(), Out) != Json.size()) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+    if (Out)
+      std::fclose(Out);
+    return 1;
+  }
+  std::fclose(Out);
+  std::printf("written: %s (geomean speedup %.2f over %zu combo(s))\n",
+              OutPath.c_str(), Result.GeomeanSpeedup, Result.Combos.size());
+  return 0;
+}

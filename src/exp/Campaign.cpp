@@ -1,0 +1,848 @@
+//===- exp/Campaign.cpp ---------------------------------------*- C++ -*-===//
+
+#include "exp/Campaign.h"
+
+#include "exp/Dataset.h"
+#include "measure/Profiler.h"
+#include "spapt/Suite.h"
+#include "stats/Metrics.h"
+#include "stats/OnlineStats.h"
+#include "support/Error.h"
+#include "support/Format.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <unistd.h>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace alic;
+
+//===----------------------------------------------------------------------===//
+// Tokens, keys, fingerprints
+//===----------------------------------------------------------------------===//
+
+const char *alic::modelToken(ModelKind Kind) {
+  switch (Kind) {
+  case ModelKind::DynaTree:
+    return "dynatree";
+  case ModelKind::Gp:
+    return "gp";
+  }
+  alic_unreachable("unknown model kind");
+}
+
+const char *alic::scorerToken(ScorerKind Kind) {
+  switch (Kind) {
+  case ScorerKind::Alc:
+    return "alc";
+  case ScorerKind::Alm:
+    return "alm";
+  case ScorerKind::Random:
+    return "random";
+  }
+  alic_unreachable("unknown scorer kind");
+}
+
+std::string alic::planToken(const SamplingPlan &Plan) {
+  if (Plan.PlanKind == SamplingPlan::Kind::Fixed)
+    return "fixed:" + std::to_string(Plan.FixedObservations);
+  return "seq:" + std::to_string(Plan.MaxObservationsPerExample);
+}
+
+std::vector<SamplingPlan> alic::defaultCampaignPlans(const ExperimentScale &S) {
+  return {SamplingPlan::fixed(35), SamplingPlan::fixed(1),
+          SamplingPlan::sequential(S.ObservationCap)};
+}
+
+std::string alic::defaultCampaignStateDir(const std::string &ScaleName) {
+  return "alic-campaign-" + ScaleName;
+}
+
+std::vector<std::string> CampaignSpec::benchmarkList() const {
+  return Benchmarks.empty() ? spaptBenchmarkNames() : Benchmarks;
+}
+
+unsigned CampaignSpec::repetitions() const {
+  unsigned Reps = Repetitions ? Repetitions : Scale.Repetitions;
+  return Reps ? Reps : 1;
+}
+
+namespace {
+
+/// Hashes every parameter a cell's result depends on besides the cell
+/// coordinates themselves, so one ledger can host many scales.
+uint64_t scaleFingerprint(const CampaignSpec &Spec) {
+  const ExperimentScale &S = Spec.Scale;
+  uint64_t FractionBits;
+  std::memcpy(&FractionBits, &S.TrainFraction, sizeof(FractionBits));
+  return hashCombine(
+      {uint64_t(S.NumConfigs), FractionBits, uint64_t(S.MeanObservations),
+       uint64_t(S.NumInitial), uint64_t(S.InitObservations),
+       uint64_t(S.MaxTrainingExamples), uint64_t(S.CandidatesPerIteration),
+       uint64_t(S.ReferenceSetSize), uint64_t(S.Particles),
+       uint64_t(S.EvalEvery), uint64_t(S.TestSubset),
+       uint64_t(S.ObservationCap), Spec.DatasetSeed, Spec.BaseRunSeed});
+}
+
+} // namespace
+
+std::string CampaignCell::key(const CampaignSpec &Spec) const {
+  std::string Fp =
+      formatString("fp=%016llx", (unsigned long long)scaleFingerprint(Spec));
+  if (CellKind == Kind::Noise)
+    return "noise|" + Benchmark + "|" + Fp;
+  return "run|" + Benchmark + "|" + modelToken(Model) + "|" +
+         scorerToken(Scorer) + "|b" + std::to_string(BatchSize) + "|" +
+         planToken(Plan) + "|r" + std::to_string(Rep) + "|" + Fp;
+}
+
+const RunResult *ComboResult::planResult(const CampaignSpec &Spec,
+                                         const SamplingPlan &Plan) const {
+  std::string Token = planToken(Plan);
+  for (size_t I = 0; I != Spec.Plans.size() && I != PlanResults.size(); ++I)
+    if (planToken(Spec.Plans[I]) == Token)
+      return &PlanResults[I];
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Cell expansion
+//===----------------------------------------------------------------------===//
+
+std::vector<CampaignCell> alic::expandCells(const CampaignSpec &Spec) {
+  std::vector<CampaignCell> Cells;
+  unsigned Reps = Spec.repetitions();
+  for (const std::string &Benchmark : Spec.benchmarkList()) {
+    for (ModelKind Model : Spec.Models)
+      for (ScorerKind Scorer : Spec.Scorers)
+        for (unsigned Batch : Spec.BatchSizes)
+          for (const SamplingPlan &Plan : Spec.Plans)
+            for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+              CampaignCell C;
+              C.CellKind = CampaignCell::Kind::Run;
+              C.Benchmark = Benchmark;
+              C.Model = Model;
+              C.Scorer = Scorer;
+              C.BatchSize = Batch;
+              C.Plan = Plan;
+              C.Rep = Rep;
+              Cells.push_back(std::move(C));
+            }
+  }
+  if (Spec.NoiseCells)
+    for (const std::string &Benchmark : Spec.benchmarkList()) {
+      CampaignCell C;
+      C.CellKind = CampaignCell::Kind::Noise;
+      C.Benchmark = Benchmark;
+      Cells.push_back(std::move(C));
+    }
+  return Cells;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON rendering and the minimal ledger parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Shortest representation that strtod parses back to the same bits, so
+/// checkpointed doubles survive the serialize/parse round trip exactly.
+std::string formatJsonDouble(double Value) {
+  char Buffer[64];
+  auto [Ptr, Ec] = std::to_chars(Buffer, Buffer + sizeof(Buffer), Value);
+  if (Ec != std::errc())
+    return "0";
+  return std::string(Buffer, Ptr);
+}
+
+/// A tiny JSON value — just enough to read the cell ledger back.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind K = Kind::Null;
+  bool BoolValue = false;
+  double Number = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Items;
+  std::vector<std::pair<std::string, JsonValue>> Fields;
+
+  const JsonValue *field(const char *Name) const {
+    for (const auto &[Key, Value] : Fields)
+      if (Key == Name)
+        return &Value;
+    return nullptr;
+  }
+};
+
+/// Recursive-descent parser over one null-terminated ledger line.
+class JsonParser {
+public:
+  explicit JsonParser(const char *Text) : P(Text) {}
+
+  bool parse(JsonValue &Out) {
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    return *P == '\0';
+  }
+
+private:
+  void skipWs() {
+    while (*P == ' ' || *P == '\t' || *P == '\r' || *P == '\n')
+      ++P;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::strlen(Word);
+    if (std::strncmp(P, Word, Len) != 0)
+      return false;
+    P += Len;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (*P != '"')
+      return false;
+    ++P;
+    Out.clear();
+    while (*P && *P != '"') {
+      if (*P == '\\') {
+        ++P;
+        switch (*P) {
+        case '"': Out.push_back('"'); break;
+        case '\\': Out.push_back('\\'); break;
+        case '/': Out.push_back('/'); break;
+        case 'n': Out.push_back('\n'); break;
+        case 't': Out.push_back('\t'); break;
+        case 'r': Out.push_back('\r'); break;
+        case 'b': Out.push_back('\b'); break;
+        case 'f': Out.push_back('\f'); break;
+        default: return false; // \uXXXX never appears in our ledger
+        }
+        ++P;
+      } else {
+        Out.push_back(*P++);
+      }
+    }
+    if (*P != '"')
+      return false;
+    ++P;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out) {
+    skipWs();
+    if (*P == '{') {
+      ++P;
+      Out.K = JsonValue::Kind::Object;
+      skipWs();
+      if (*P == '}') {
+        ++P;
+        return true;
+      }
+      while (true) {
+        skipWs();
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipWs();
+        if (*P != ':')
+          return false;
+        ++P;
+        JsonValue Value;
+        if (!parseValue(Value))
+          return false;
+        Out.Fields.emplace_back(std::move(Key), std::move(Value));
+        skipWs();
+        if (*P == ',') {
+          ++P;
+          continue;
+        }
+        if (*P == '}') {
+          ++P;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (*P == '[') {
+      ++P;
+      Out.K = JsonValue::Kind::Array;
+      skipWs();
+      if (*P == ']') {
+        ++P;
+        return true;
+      }
+      while (true) {
+        JsonValue Item;
+        if (!parseValue(Item))
+          return false;
+        Out.Items.push_back(std::move(Item));
+        skipWs();
+        if (*P == ',') {
+          ++P;
+          continue;
+        }
+        if (*P == ']') {
+          ++P;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (*P == '"') {
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.Str);
+    }
+    if (literal("true")) {
+      Out.K = JsonValue::Kind::Bool;
+      Out.BoolValue = true;
+      return true;
+    }
+    if (literal("false")) {
+      Out.K = JsonValue::Kind::Bool;
+      return true;
+    }
+    if (literal("null"))
+      return true;
+    char *End = nullptr;
+    double Number = std::strtod(P, &End);
+    if (End == P)
+      return false;
+    Out.K = JsonValue::Kind::Number;
+    Out.Number = Number;
+    P = End;
+    return true;
+  }
+
+  const char *P;
+};
+
+bool numberField(const JsonValue &Object, const char *Name, double &Out) {
+  const JsonValue *Field = Object.field(Name);
+  if (!Field || Field->K != JsonValue::Kind::Number)
+    return false;
+  Out = Field->Number;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Ledger serialization
+//===----------------------------------------------------------------------===//
+
+std::string cellLine(const std::string &Key, CampaignCell::Kind Kind,
+                     const CellResult &Result) {
+  std::string Line = "{\"cell\":\"" + Key + "\"";
+  if (Kind == CampaignCell::Kind::Noise) {
+    Line += ",\"noise\":[";
+    for (size_t I = 0; I != Result.NoiseStats.size(); ++I) {
+      if (I)
+        Line += ",";
+      Line += formatJsonDouble(Result.NoiseStats[I]);
+    }
+    Line += "]}";
+    return Line + "\n";
+  }
+  const RunResult &R = Result.Run;
+  Line += formatString(",\"iterations\":%zu,\"distinct\":%zu,"
+                       "\"revisits\":%zu,\"observations\":%zu",
+                       R.Stats.Iterations, R.Stats.DistinctExamples,
+                       R.Stats.Revisits, R.Stats.Observations);
+  Line += ",\"final_rmse\":" + formatJsonDouble(R.FinalRmse);
+  Line += ",\"total_cost_seconds\":" + formatJsonDouble(R.TotalCostSeconds);
+  Line += ",\"curve\":[";
+  for (size_t I = 0; I != R.Curve.size(); ++I) {
+    const CurvePoint &Point = R.Curve[I];
+    if (I)
+      Line += ",";
+    Line += formatString("[%zu,", Point.Iteration);
+    Line += formatJsonDouble(Point.CostSeconds) + ",";
+    Line += formatJsonDouble(Point.Rmse) + "]";
+  }
+  Line += "]}";
+  return Line + "\n";
+}
+
+bool parseCellLine(const std::string &Line, std::string &Key,
+                   CellResult &Result) {
+  JsonValue Root;
+  if (!JsonParser(Line.c_str()).parse(Root) ||
+      Root.K != JsonValue::Kind::Object)
+    return false;
+  const JsonValue *Cell = Root.field("cell");
+  if (!Cell || Cell->K != JsonValue::Kind::String)
+    return false;
+  Key = Cell->Str;
+
+  if (const JsonValue *Noise = Root.field("noise")) {
+    if (Noise->K != JsonValue::Kind::Array || Noise->Items.size() != 9)
+      return false;
+    Result.NoiseStats.clear();
+    for (const JsonValue &Item : Noise->Items) {
+      if (Item.K != JsonValue::Kind::Number)
+        return false;
+      Result.NoiseStats.push_back(Item.Number);
+    }
+    return true;
+  }
+
+  double Iterations, Distinct, Revisits, Observations;
+  RunResult &R = Result.Run;
+  if (!numberField(Root, "iterations", Iterations) ||
+      !numberField(Root, "distinct", Distinct) ||
+      !numberField(Root, "revisits", Revisits) ||
+      !numberField(Root, "observations", Observations) ||
+      !numberField(Root, "final_rmse", R.FinalRmse) ||
+      !numberField(Root, "total_cost_seconds", R.TotalCostSeconds))
+    return false;
+  R.Stats.Iterations = size_t(Iterations);
+  R.Stats.DistinctExamples = size_t(Distinct);
+  R.Stats.Revisits = size_t(Revisits);
+  R.Stats.Observations = size_t(Observations);
+  const JsonValue *Curve = Root.field("curve");
+  if (!Curve || Curve->K != JsonValue::Kind::Array || Curve->Items.empty())
+    return false;
+  R.Curve.clear();
+  for (const JsonValue &Item : Curve->Items) {
+    if (Item.K != JsonValue::Kind::Array || Item.Items.size() != 3)
+      return false;
+    for (const JsonValue &Coord : Item.Items)
+      if (Coord.K != JsonValue::Kind::Number)
+        return false;
+    R.Curve.push_back({size_t(Item.Items[0].Number), Item.Items[1].Number,
+                       Item.Items[2].Number});
+  }
+  return true;
+}
+
+/// Reads the ledger, skipping unparsable lines (a crash can leave one
+/// partial trailing line; its cell simply reruns on resume).
+std::unordered_map<std::string, CellResult>
+loadLedger(const std::string &Path) {
+  std::unordered_map<std::string, CellResult> Ledger;
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return Ledger;
+  std::string Content;
+  char Chunk[1 << 16];
+  size_t Got;
+  while ((Got = std::fread(Chunk, 1, sizeof(Chunk), File)) > 0)
+    Content.append(Chunk, Got);
+  std::fclose(File);
+
+  size_t Pos = 0;
+  while (Pos < Content.size()) {
+    size_t Eol = Content.find('\n', Pos);
+    if (Eol == std::string::npos)
+      break; // partial trailing line: the crash remnant resume re-runs
+    std::string Line = Content.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    if (Line.empty())
+      continue;
+    std::string Key;
+    CellResult Result;
+    if (parseCellLine(Line, Key, Result))
+      Ledger[Key] = std::move(Result); // later lines win (idempotent rewrites)
+  }
+  return Ledger;
+}
+
+//===----------------------------------------------------------------------===//
+// Cell execution
+//===----------------------------------------------------------------------===//
+
+CellResult computeNoiseCell(const CampaignSpec &Spec,
+                            const std::string &Benchmark) {
+  auto B = createSpaptBenchmark(Benchmark);
+  const ExperimentScale &S = Spec.Scale;
+  // The Table 2 measurement: per-configuration runtime variance and the
+  // paper's Section 4.3 CI/mean validation statistic for 35- and 5-sample
+  // plans, summarized as min/mean/max across sampled configurations.
+  size_t NumConfigs = std::min<size_t>(S.NumConfigs / 4, 600);
+  Rng R(hashCombine({Spec.DatasetSeed, 0x7ab1e2ull}));
+  std::vector<Config> Configs = B->space().sampleDistinct(R, NumConfigs);
+  Profiler Prof(*B, 0x5eed);
+
+  OnlineStats Var, Ci35, Ci5;
+  for (const Config &C : Configs) {
+    OnlineStats Runs, Five;
+    std::vector<double> Obs = Prof.measure(C, 35);
+    for (size_t I = 0; I != Obs.size(); ++I) {
+      Runs.add(Obs[I]);
+      // Streams are counter-based, so the first five observations are
+      // exactly what a fresh 5-sample plan would draw.
+      if (I < 5)
+        Five.add(Obs[I]);
+    }
+    Var.add(Runs.variance());
+    Ci35.add(Runs.ciOverMean());
+    Ci5.add(Five.ciOverMean());
+  }
+  CellResult Result;
+  Result.NoiseStats = {Var.min(),  Var.mean(),  Var.max(),
+                       Ci35.min(), Ci35.mean(), Ci35.max(),
+                       Ci5.min(),  Ci5.mean(),  Ci5.max()};
+  return Result;
+}
+
+CellResult computeRunCell(const CampaignSpec &Spec, const CampaignCell &Cell,
+                          const Dataset &D) {
+  auto B = createSpaptBenchmark(Cell.Benchmark);
+  RunOptions Options;
+  Options.Model = Cell.Model;
+  Options.Learner.Scorer = Cell.Scorer;
+  Options.Learner.BatchSize = Cell.BatchSize;
+  // Cells stay model-internally sequential: the pool's parallelism budget
+  // is spent at cell granularity, and a worker blocking on nested pool
+  // work would deadlock ThreadPool::waitAll.
+  Options.Workers = nullptr;
+  uint64_t Seed = hashCombine({Spec.BaseRunSeed, uint64_t(Cell.Rep)});
+  CellResult Result;
+  Result.Run = runLearning(*B, D, Cell.Plan, Spec.Scale, Seed, Options);
+  return Result;
+}
+
+/// Runs \p Fn(I) for every index either inline or across \p Pool.
+void forEachIndex(ThreadPool *Pool, size_t N,
+                  const std::function<void(size_t)> &Fn) {
+  if (!Pool) {
+    for (size_t I = 0; I != N; ++I)
+      Fn(I);
+    return;
+  }
+  Pool->parallelFor(N, Fn);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Orchestration
+//===----------------------------------------------------------------------===//
+
+CampaignProgress alic::runCampaignCells(const CampaignSpec &Spec,
+                                        const CampaignOptions &Options) {
+  std::vector<CampaignCell> Cells = expandCells(Spec);
+  CampaignProgress Progress;
+
+  std::error_code Ec;
+  std::filesystem::create_directories(Options.StateDir, Ec);
+  if (Ec)
+    fatalError("cannot create campaign state dir %s: %s",
+               Options.StateDir.c_str(), Ec.message().c_str());
+
+  std::unordered_map<std::string, CellResult> Ledger =
+      loadLedger(Options.ledgerPath());
+
+  // Missing cells, deduplicated by key, in spec order.  Progress counts
+  // unique keys so a (pathological) spec with duplicates still completes.
+  std::vector<const CampaignCell *> Missing;
+  std::unordered_set<std::string> Seen;
+  for (const CampaignCell &Cell : Cells) {
+    std::string Key = Cell.key(Spec);
+    if (!Seen.insert(Key).second || Ledger.count(Key))
+      continue;
+    Missing.push_back(&Cell);
+  }
+  Progress.TotalCells = Seen.size();
+  Progress.AlreadyDone = Progress.TotalCells - Missing.size();
+
+  if (Options.ShuffleSeed) {
+    Rng Shuffler(Options.ShuffleSeed);
+    Shuffler.shuffle(Missing);
+  }
+  bool Truncated = Options.MaxCells && Missing.size() > Options.MaxCells;
+  if (Truncated)
+    Missing.resize(Options.MaxCells);
+
+  if (Missing.empty()) {
+    Progress.Complete = !Truncated && Progress.AlreadyDone ==
+                                          Progress.TotalCells;
+    return Progress;
+  }
+
+  std::unique_ptr<ThreadPool> Pool;
+  if (Options.Threads)
+    Pool = std::make_unique<ThreadPool>(Options.Threads);
+
+  // Memoize each needed benchmark's dataset once, up front (the blob
+  // cache makes this a deserialize on every run after the first).
+  std::vector<std::string> NeededBenchmarks;
+  for (const CampaignCell *Cell : Missing)
+    if (Cell->CellKind == CampaignCell::Kind::Run &&
+        std::find(NeededBenchmarks.begin(), NeededBenchmarks.end(),
+                  Cell->Benchmark) == NeededBenchmarks.end())
+      NeededBenchmarks.push_back(Cell->Benchmark);
+
+  std::unordered_map<std::string, Dataset> Datasets;
+  {
+    std::mutex DatasetMutex;
+    const ExperimentScale &S = Spec.Scale;
+    forEachIndex(Pool.get(), NeededBenchmarks.size(), [&](size_t I) {
+      const std::string &Name = NeededBenchmarks[I];
+      auto B = createSpaptBenchmark(Name);
+      Dataset D = loadOrBuildDataset(*B, S.NumConfigs, S.TrainFraction,
+                                     S.MeanObservations, Spec.DatasetSeed,
+                                     Options.datasetCacheDir());
+      std::lock_guard<std::mutex> Lock(DatasetMutex);
+      Datasets.emplace(Name, std::move(D));
+    });
+  }
+
+  std::FILE *Out = std::fopen(Options.ledgerPath().c_str(), "ab");
+  if (!Out)
+    fatalError("cannot open campaign ledger %s for append",
+               Options.ledgerPath().c_str());
+  // A crash can leave a partial trailing line with no newline; appending
+  // straight after it would glue the next record onto the remnant and
+  // lose both.  Seal the remnant into its own (skippable) line first.
+  {
+    std::FILE *In = std::fopen(Options.ledgerPath().c_str(), "rb");
+    if (In) {
+      char LastByte = '\n';
+      bool NonEmpty = std::fseek(In, -1, SEEK_END) == 0 &&
+                      std::fread(&LastByte, 1, 1, In) == 1;
+      std::fclose(In);
+      if (NonEmpty && LastByte != '\n')
+        std::fputc('\n', Out);
+    }
+  }
+
+  std::mutex WriteMutex;
+  size_t Completed = 0;
+  forEachIndex(Pool.get(), Missing.size(), [&](size_t I) {
+    const CampaignCell &Cell = *Missing[I];
+    CellResult Result =
+        Cell.CellKind == CampaignCell::Kind::Noise
+            ? computeNoiseCell(Spec, Cell.Benchmark)
+            : computeRunCell(Spec, Cell, Datasets.at(Cell.Benchmark));
+    std::string Key = Cell.key(Spec);
+    std::string Line = cellLine(Key, Cell.CellKind, Result);
+
+    std::lock_guard<std::mutex> Lock(WriteMutex);
+    // One flushed + synced write per cell: a crash loses at most the
+    // in-flight line, which the parser skips on resume.
+    if (std::fwrite(Line.data(), 1, Line.size(), Out) != Line.size() ||
+        std::fflush(Out) != 0)
+      fatalError("short write to campaign ledger %s",
+                 Options.ledgerPath().c_str());
+    fsync(fileno(Out));
+    ++Completed;
+    if (!Options.Quiet)
+      std::fprintf(stderr, "  campaign [%zu/%zu] %s\n",
+                   Progress.AlreadyDone + Completed, Progress.TotalCells,
+                   Key.c_str());
+  });
+  std::fclose(Out);
+
+  Progress.NewlyRun = Missing.size();
+  Progress.Complete =
+      Progress.AlreadyDone + Progress.NewlyRun == Progress.TotalCells;
+  return Progress;
+}
+
+bool alic::aggregateCampaign(const CampaignSpec &Spec,
+                             const CampaignOptions &Options,
+                             CampaignResult &Out) {
+  Out = CampaignResult();
+  std::unordered_map<std::string, CellResult> Ledger =
+      loadLedger(Options.ledgerPath());
+  for (const CampaignCell &Cell : expandCells(Spec))
+    if (!Ledger.count(Cell.key(Spec)))
+      return false;
+
+  unsigned Reps = Spec.repetitions();
+  std::vector<double> Speedups;
+  std::vector<std::string> RunBenchmarks =
+      Spec.Plans.empty() ? std::vector<std::string>() : Spec.benchmarkList();
+  for (const std::string &Benchmark : RunBenchmarks)
+    for (ModelKind Model : Spec.Models)
+      for (ScorerKind Scorer : Spec.Scorers)
+        for (unsigned Batch : Spec.BatchSizes) {
+          ComboResult Combo;
+          Combo.Benchmark = Benchmark;
+          Combo.Model = Model;
+          Combo.Scorer = Scorer;
+          Combo.BatchSize = Batch;
+          for (const SamplingPlan &Plan : Spec.Plans) {
+            std::vector<RunResult> Runs;
+            Runs.reserve(Reps);
+            for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+              CampaignCell Cell;
+              Cell.CellKind = CampaignCell::Kind::Run;
+              Cell.Benchmark = Benchmark;
+              Cell.Model = Model;
+              Cell.Scorer = Scorer;
+              Cell.BatchSize = Batch;
+              Cell.Plan = Plan;
+              Cell.Rep = Rep;
+              Runs.push_back(Ledger.at(Cell.key(Spec)).Run);
+            }
+            Combo.PlanResults.push_back(averageRuns(Runs));
+          }
+          // Table 1 semantics: first fixed plan is the baseline, first
+          // sequential plan is "ours".
+          int BaselineIdx = -1, OursIdx = -1;
+          for (size_t I = 0; I != Spec.Plans.size(); ++I) {
+            if (Spec.Plans[I].PlanKind == SamplingPlan::Kind::Fixed &&
+                BaselineIdx < 0)
+              BaselineIdx = int(I);
+            if (Spec.Plans[I].PlanKind == SamplingPlan::Kind::Sequential &&
+                OursIdx < 0)
+              OursIdx = int(I);
+          }
+          if (BaselineIdx >= 0 && OursIdx >= 0) {
+            Combo.Speedup = compareCurves(Combo.PlanResults[BaselineIdx],
+                                          Combo.PlanResults[OursIdx]);
+            if (Combo.Speedup.Speedup > 0.0)
+              Speedups.push_back(Combo.Speedup.Speedup);
+          }
+          Out.Combos.push_back(std::move(Combo));
+        }
+
+  if (Spec.NoiseCells)
+    for (const std::string &Benchmark : Spec.benchmarkList()) {
+      CampaignCell Cell;
+      Cell.CellKind = CampaignCell::Kind::Noise;
+      Cell.Benchmark = Benchmark;
+      const std::vector<double> &Stats =
+          Ledger.at(Cell.key(Spec)).NoiseStats;
+      if (Stats.size() != 9)
+        return false;
+      NoiseSummary Summary;
+      Summary.Benchmark = Benchmark;
+      Summary.VarMin = Stats[0];
+      Summary.VarMean = Stats[1];
+      Summary.VarMax = Stats[2];
+      Summary.Ci35Min = Stats[3];
+      Summary.Ci35Mean = Stats[4];
+      Summary.Ci35Max = Stats[5];
+      Summary.Ci5Min = Stats[6];
+      Summary.Ci5Mean = Stats[7];
+      Summary.Ci5Max = Stats[8];
+      Out.Noise.push_back(std::move(Summary));
+    }
+
+  if (!Speedups.empty())
+    Out.GeomeanSpeedup = geometricMean(Speedups);
+  return true;
+}
+
+bool alic::runCampaign(const CampaignSpec &Spec,
+                       const CampaignOptions &Options, CampaignResult &Out) {
+  CampaignProgress Progress = runCampaignCells(Spec, Options);
+  if (!Progress.Complete)
+    return false;
+  if (!aggregateCampaign(Spec, Options, Out))
+    fatalError("campaign ledger %s lost cells between run and aggregate",
+               Options.ledgerPath().c_str());
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical aggregate JSON
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Evenly decimates a curve to at most ~33 points (always keeping the
+/// final one) so the aggregate stays reviewable; renderers that need full
+/// curves read CampaignResult directly.
+void appendCurveJson(std::string &Json, const std::vector<CurvePoint> &Curve) {
+  Json += "[";
+  size_t Stride = std::max<size_t>(1, Curve.size() / 32);
+  bool First = true;
+  for (size_t I = 0; I < Curve.size(); I += Stride) {
+    if (!First)
+      Json += ",";
+    First = false;
+    Json += formatString("[%zu,", Curve[I].Iteration);
+    Json += formatJsonDouble(Curve[I].CostSeconds) + ",";
+    Json += formatJsonDouble(Curve[I].Rmse) + "]";
+  }
+  if (!Curve.empty() && (Curve.size() - 1) % Stride != 0) {
+    Json += First ? "" : ",";
+    Json += formatString("[%zu,", Curve.back().Iteration);
+    Json += formatJsonDouble(Curve.back().CostSeconds) + ",";
+    Json += formatJsonDouble(Curve.back().Rmse) + "]";
+  }
+  Json += "]";
+}
+
+} // namespace
+
+std::string alic::campaignJson(const CampaignSpec &Spec,
+                               const CampaignResult &Result) {
+  std::string Json = "{\n";
+  Json += "  \"schema\": \"alic-campaign-v1\",\n";
+  Json += "  \"scale\": \"" + Spec.ScaleName + "\",\n";
+  Json += formatString("  \"repetitions\": %u,\n", Spec.repetitions());
+  Json += "  \"benchmarks\": [";
+  std::vector<std::string> Names = Spec.benchmarkList();
+  for (size_t I = 0; I != Names.size(); ++I)
+    Json += (I ? ", \"" : "\"") + Names[I] + "\"";
+  Json += "],\n";
+  size_t NumCells = Names.size() * Spec.Models.size() * Spec.Scorers.size() *
+                        Spec.BatchSizes.size() * Spec.Plans.size() *
+                        Spec.repetitions() +
+                    (Spec.NoiseCells ? Names.size() : 0);
+  Json += formatString("  \"cells\": %zu,\n", NumCells);
+
+  Json += "  \"combos\": [\n";
+  for (size_t C = 0; C != Result.Combos.size(); ++C) {
+    const ComboResult &Combo = Result.Combos[C];
+    Json += "    {\"benchmark\": \"" + Combo.Benchmark + "\", \"model\": \"" +
+            modelToken(Combo.Model) + "\", \"scorer\": \"" +
+            scorerToken(Combo.Scorer) + "\"";
+    Json += formatString(", \"batch\": %u,\n", Combo.BatchSize);
+    Json += "     \"plans\": [\n";
+    for (size_t P = 0; P != Combo.PlanResults.size(); ++P) {
+      const RunResult &Run = Combo.PlanResults[P];
+      Json += "      {\"plan\": \"" + planToken(Spec.Plans[P]) + "\"";
+      Json += ", \"final_rmse\": " + formatJsonDouble(Run.FinalRmse);
+      Json +=
+          ", \"total_cost_seconds\": " + formatJsonDouble(Run.TotalCostSeconds);
+      Json += formatString(", \"iterations\": %zu, \"observations\": %zu",
+                           Run.Stats.Iterations, Run.Stats.Observations);
+      Json += ",\n       \"curve\": ";
+      appendCurveJson(Json, Run.Curve);
+      Json += P + 1 == Combo.PlanResults.size() ? "}\n" : "},\n";
+    }
+    Json += "     ],\n";
+    Json += "     \"lowest_common_rmse\": " +
+            formatJsonDouble(Combo.Speedup.LowestCommonRmse);
+    Json += ", \"baseline_cost_seconds\": " +
+            formatJsonDouble(Combo.Speedup.BaselineCostSeconds);
+    Json += ", \"ours_cost_seconds\": " +
+            formatJsonDouble(Combo.Speedup.OursCostSeconds);
+    Json += ", \"speedup\": " + formatJsonDouble(Combo.Speedup.Speedup);
+    Json += C + 1 == Result.Combos.size() ? "}\n" : "},\n";
+  }
+  Json += "  ],\n";
+
+  Json += "  \"noise\": [\n";
+  for (size_t N = 0; N != Result.Noise.size(); ++N) {
+    const NoiseSummary &Noise = Result.Noise[N];
+    Json += "    {\"benchmark\": \"" + Noise.Benchmark + "\"";
+    Json += ", \"var\": [" + formatJsonDouble(Noise.VarMin) + "," +
+            formatJsonDouble(Noise.VarMean) + "," +
+            formatJsonDouble(Noise.VarMax) + "]";
+    Json += ", \"ci35\": [" + formatJsonDouble(Noise.Ci35Min) + "," +
+            formatJsonDouble(Noise.Ci35Mean) + "," +
+            formatJsonDouble(Noise.Ci35Max) + "]";
+    Json += ", \"ci5\": [" + formatJsonDouble(Noise.Ci5Min) + "," +
+            formatJsonDouble(Noise.Ci5Mean) + "," +
+            formatJsonDouble(Noise.Ci5Max) + "]";
+    Json += N + 1 == Result.Noise.size() ? "}\n" : "},\n";
+  }
+  Json += "  ],\n";
+
+  Json += "  \"geomean_speedup\": " + formatJsonDouble(Result.GeomeanSpeedup);
+  Json += "\n}\n";
+  return Json;
+}

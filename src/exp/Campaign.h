@@ -1,0 +1,217 @@
+//===- exp/Campaign.h - Sharded, checkpointable experiment campaigns -----===//
+//
+// Part of the ALIC project: a reproduction of "Minimizing the Cost of
+// Iterative Compilation with Active Learning" (Ogilvie et al., CGO 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign orchestrator behind the paper's headline results (Table 1,
+/// Figure 5, Figure 6): a work-queue that expands a CampaignSpec — the
+/// cross-product of benchmarks x surrogate models x scorers x batch sizes
+/// x sampling plans x seeds at any ExperimentScale — into independent run
+/// cells, shards the cells across a ThreadPool, and checkpoints every
+/// completed cell to a crash-safe JSONL ledger.
+///
+/// Determinism contract (regression-tested):
+///  * every cell is a pure function of its key — cells never share mutable
+///    state, and the learner runs model-internally sequential inside a
+///    cell, so cell-level parallelism composes with the bit-reproducible
+///    runs pinned by PRs 1-2;
+///  * aggregation happens only over the parsed checkpoint (doubles round
+///    trip through %.17g exactly), in canonical spec order — so the
+///    aggregate JSON is byte-identical at any worker thread count, under
+///    any cell completion order, and across kill/resume boundaries;
+///  * re-launching a spec skips every cell already present in the ledger
+///    (keys embed a fingerprint of all scale parameters, so changing the
+///    scale never resurrects stale results).
+///
+/// Expensive buildDataset profiling is memoized per (benchmark, scale,
+/// seed) in an on-disk blob cache (support/Serialize); cache hits are
+/// bit-identical to a fresh build.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIC_EXP_CAMPAIGN_H
+#define ALIC_EXP_CAMPAIGN_H
+
+#include "exp/Runner.h"
+
+#include <string>
+#include <vector>
+
+namespace alic {
+
+/// Default seeds for campaign datasets and learner runs.  The bench
+/// binaries alias these (BenchCommon.h), so alic_campaign and every
+/// renderer address the same ledger cells — change them only here.
+inline constexpr uint64_t CampaignDatasetSeed = 0xa11cebe7;
+inline constexpr uint64_t CampaignRunSeed = 0x0911fe;
+
+/// The cross-product a campaign covers.  Defaults reproduce the paper's
+/// comparison: every SPAPT benchmark, the dynamic-tree surrogate, ALC
+/// scoring, one-at-a-time labelling, and the three sampling plans of
+/// Figure 6 (35 observations, 1 observation, variable).
+struct CampaignSpec {
+  std::vector<std::string> Benchmarks; ///< empty = all eleven, Table 1 order
+  std::vector<ModelKind> Models = {ModelKind::DynaTree};
+  std::vector<ScorerKind> Scorers = {ScorerKind::Alc};
+  std::vector<unsigned> BatchSizes = {1};
+  /// Sampling plans each combo runs.  May be empty (noise-only campaigns,
+  /// e.g. the Table 2 renderer).
+  std::vector<SamplingPlan> Plans = {SamplingPlan::fixed(35),
+                                     SamplingPlan::fixed(1),
+                                     SamplingPlan::sequential(35)};
+  /// Seeds per combo x plan; 0 = Scale.Repetitions.  Cell seeds derive as
+  /// hashCombine({BaseRunSeed, rep}), matching runAveraged.
+  unsigned Repetitions = 0;
+  ExperimentScale Scale;
+  std::string ScaleName = "custom"; ///< label only (JSON "scale" field)
+  uint64_t DatasetSeed = CampaignDatasetSeed;
+  uint64_t BaseRunSeed = CampaignRunSeed;
+  /// Also run one noise-summary cell per benchmark (the Table 2
+  /// measurement: variance and CI/mean spread across configurations).
+  bool NoiseCells = true;
+
+  /// Benchmarks with empty defaulted to the full suite.
+  std::vector<std::string> benchmarkList() const;
+  unsigned repetitions() const;
+};
+
+/// One independent unit of campaign work.
+struct CampaignCell {
+  enum class Kind { Run, Noise };
+  Kind CellKind = Kind::Run;
+  std::string Benchmark;
+  ModelKind Model = ModelKind::DynaTree;
+  ScorerKind Scorer = ScorerKind::Alc;
+  unsigned BatchSize = 1;
+  SamplingPlan Plan;
+  unsigned Rep = 0;
+
+  /// Canonical ledger key, e.g.
+  /// "run|atax|dynatree|alc|b1|seq:35|r0|fp=0123456789abcdef".  The
+  /// fingerprint hashes every scale parameter plus the dataset and run
+  /// seeds, so a ledger can host cells from many scales without collisions.
+  std::string key(const CampaignSpec &Spec) const;
+};
+
+/// Checkpointed result of one cell (run curves or noise summary).
+struct CellResult {
+  RunResult Run;                   ///< Kind::Run cells
+  std::vector<double> NoiseStats;  ///< Kind::Noise cells: 9 values,
+                                   ///< {var,ci35,ci5} x {min,mean,max}
+};
+
+/// Per-benchmark noise spread (Table 2 semantics).
+struct NoiseSummary {
+  std::string Benchmark;
+  double VarMin = 0, VarMean = 0, VarMax = 0;
+  double Ci35Min = 0, Ci35Mean = 0, Ci35Max = 0;
+  double Ci5Min = 0, Ci5Mean = 0, Ci5Max = 0;
+};
+
+/// Seed-averaged curves for one (benchmark, model, scorer, batch) combo.
+struct ComboResult {
+  std::string Benchmark;
+  ModelKind Model = ModelKind::DynaTree;
+  ScorerKind Scorer = ScorerKind::Alc;
+  unsigned BatchSize = 1;
+  /// One averaged RunResult per spec plan, in spec order.
+  std::vector<RunResult> PlanResults;
+  /// Lowest-common-error comparison (Table 1 semantics) of the first
+  /// fixed plan against the first sequential plan; Speedup == 0 when the
+  /// spec lacks either.
+  PlanComparison Speedup;
+
+  /// The averaged result for \p Plan, or nullptr if the spec lacks it.
+  const RunResult *planResult(const CampaignSpec &Spec,
+                              const SamplingPlan &Plan) const;
+};
+
+/// Deterministic aggregate of a completed campaign.
+struct CampaignResult {
+  std::vector<ComboResult> Combos;       ///< canonical spec order
+  std::vector<NoiseSummary> Noise;       ///< benchmark order
+  /// Geometric mean of all combo speedups > 0 (0 when none).
+  double GeomeanSpeedup = 0.0;
+};
+
+/// Knobs of one orchestrator invocation (not part of any cell key:
+/// changing them never changes results, only how they are produced).
+struct CampaignOptions {
+  /// Worker threads cells shard across; 0 runs cells inline.  Aggregate
+  /// output is byte-identical at any value.
+  unsigned Threads = 0;
+  /// Ledger + dataset-cache directory; created on demand.
+  std::string StateDir = "alic-campaign";
+  /// Stop after completing this many new cells (0 = run to completion) —
+  /// deterministic mid-campaign interruption for the resume tests and CI.
+  size_t MaxCells = 0;
+  /// Non-zero: execute missing cells in a seeded shuffled order instead of
+  /// spec order (completion-order-invariance tests).
+  uint64_t ShuffleSeed = 0;
+  /// Suppress per-cell progress lines on stderr.
+  bool Quiet = false;
+
+  /// The checkpoint ledger path under StateDir.
+  std::string ledgerPath() const { return StateDir + "/cells.jsonl"; }
+  /// The dataset blob cache directory under StateDir.
+  std::string datasetCacheDir() const { return StateDir + "/datasets"; }
+};
+
+/// What one runCampaignCells invocation did.
+struct CampaignProgress {
+  size_t TotalCells = 0;   ///< cells the spec expands to
+  size_t AlreadyDone = 0;  ///< found complete in the ledger
+  size_t NewlyRun = 0;     ///< computed and appended by this invocation
+  bool Complete = false;   ///< every spec cell is now in the ledger
+};
+
+/// Expands \p Spec into its cells, in canonical (deterministic) order:
+/// benchmarks x models x scorers x batches x plans x reps, then noise.
+std::vector<CampaignCell> expandCells(const CampaignSpec &Spec);
+
+/// Runs every spec cell missing from the ledger, sharding across
+/// Options.Threads workers; each completed cell is appended to the ledger
+/// crash-safely (single flushed+synced write).  Honors MaxCells.
+CampaignProgress runCampaignCells(const CampaignSpec &Spec,
+                                  const CampaignOptions &Options);
+
+/// Aggregates a campaign from the ledger alone (never from in-memory
+/// results — the single code path that makes resumed and uninterrupted
+/// runs byte-identical).  Returns false when any spec cell is missing.
+bool aggregateCampaign(const CampaignSpec &Spec,
+                       const CampaignOptions &Options, CampaignResult &Out);
+
+/// runCampaignCells + aggregateCampaign.  Returns false when interrupted
+/// by MaxCells before completion.
+bool runCampaign(const CampaignSpec &Spec, const CampaignOptions &Options,
+                 CampaignResult &Out);
+
+/// Renders the canonical BENCH_campaign.json document: per-combo
+/// lowest-common-error speedups, final RMSEs, decimated curve summaries,
+/// per-benchmark noise spreads, and the geo-mean speedup.  Contains no
+/// timestamps or host details; equal results render to equal bytes.
+std::string campaignJson(const CampaignSpec &Spec,
+                         const CampaignResult &Result);
+
+/// Canonical lower-case tokens used in cell keys and JSON.
+const char *modelToken(ModelKind Kind);
+const char *scorerToken(ScorerKind Kind);
+std::string planToken(const SamplingPlan &Plan);
+
+/// The default plan list at scale \p S — the three Figure 6 sampling
+/// plans with the scale's sequential cap.  The alic_campaign CLI and the
+/// bench renderers both build their specs from this (identical plans =>
+/// identical cell keys => shared ledger state); never inline a copy.
+std::vector<SamplingPlan> defaultCampaignPlans(const ExperimentScale &S);
+
+/// The default state directory for one scale: "alic-campaign-<scale>".
+/// Shared by the CLI default and the renderers' ALIC_CAMPAIGN_DIR
+/// fallback for the same reason.
+std::string defaultCampaignStateDir(const std::string &ScaleName);
+
+} // namespace alic
+
+#endif // ALIC_EXP_CAMPAIGN_H

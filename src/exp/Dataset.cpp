@@ -4,10 +4,98 @@
 
 #include "measure/NoiseModel.h"
 #include "support/Error.h"
+#include "support/Format.h"
+#include "support/Serialize.h"
 
 #include <cassert>
+#include <cstring>
+#include <filesystem>
 
 using namespace alic;
+
+namespace {
+
+/// Bump when the blob layout or buildDataset's sampling changes.
+constexpr uint32_t DatasetBlobVersion = 1;
+constexpr uint32_t DatasetBlobMagic = 0x53444c41; // "ALDS"
+
+uint64_t datasetCacheKey(const SpaptBenchmark &B, size_t NumConfigs,
+                         double TrainFraction, unsigned MeanObservations,
+                         uint64_t Seed) {
+  uint64_t FractionBits;
+  std::memcpy(&FractionBits, &TrainFraction, sizeof(FractionBits));
+  uint64_t Key = hashCombine({uint64_t(NumConfigs), FractionBits,
+                              uint64_t(MeanObservations), Seed,
+                              uint64_t(DatasetBlobVersion)});
+  for (char C : B.name())
+    Key = hashCombine({Key, uint64_t(uint8_t(C))});
+  return Key;
+}
+
+void writeConfigs(ByteWriter &W, const std::vector<Config> &Configs) {
+  W.writeU64(Configs.size());
+  for (const Config &C : Configs)
+    W.writeU16s(C);
+}
+
+bool readConfigs(ByteReader &R, std::vector<Config> &Configs) {
+  Configs.clear();
+  uint64_t Count;
+  // Every serialized config costs at least its 8-byte length prefix, so
+  // a corrupt count cannot exceed remaining/8 — reject it before the
+  // resize rather than attempting a giant allocation.
+  if (!R.readU64(Count) || Count > R.remaining() / 8)
+    return false;
+  Configs.resize(size_t(Count));
+  for (Config &C : Configs)
+    if (!R.readU16s(C))
+      return false;
+  return true;
+}
+
+void serializeDataset(const Dataset &D, ByteWriter &W) {
+  std::vector<double> Means(D.Norm.numDims()), Stds(D.Norm.numDims());
+  for (size_t I = 0; I != D.Norm.numDims(); ++I) {
+    Means[I] = D.Norm.mean(I);
+    Stds[I] = D.Norm.stddev(I);
+  }
+  W.writeDoubles(Means);
+  W.writeDoubles(Stds);
+  writeConfigs(W, D.TrainPool);
+  writeConfigs(W, D.TestConfigs);
+  W.writeU64(D.TestFeatures.size());
+  for (const std::vector<double> &Row : D.TestFeatures)
+    W.writeDoubles(Row);
+  W.writeDoubles(D.TestMeans);
+}
+
+bool deserializeDataset(ByteReader &R, Dataset &D) {
+  std::vector<double> Means, Stds;
+  if (!R.readDoubles(Means) || !R.readDoubles(Stds) ||
+      Means.size() != Stds.size())
+    return false;
+  for (double Sd : Stds)
+    if (!(Sd > 0.0))
+      return false;
+  D.Norm = Normalizer::fromMoments(std::move(Means), std::move(Stds));
+  if (!readConfigs(R, D.TrainPool) || !readConfigs(R, D.TestConfigs))
+    return false;
+  uint64_t NumRows;
+  if (!R.readU64(NumRows) || NumRows > R.remaining() / 8)
+    return false;
+  D.TestFeatures.clear();
+  D.TestFeatures.resize(size_t(NumRows));
+  for (std::vector<double> &Row : D.TestFeatures)
+    if (!R.readDoubles(Row))
+      return false;
+  if (!R.readDoubles(D.TestMeans))
+    return false;
+  // Cross-field sanity: the blob must describe one coherent dataset.
+  return R.ok() && R.atEnd() && D.TestFeatures.size() == D.TestConfigs.size() &&
+         D.TestMeans.size() == D.TestConfigs.size();
+}
+
+} // namespace
 
 Dataset alic::buildDataset(const SpaptBenchmark &B, size_t NumConfigs,
                            double TrainFraction, unsigned MeanObservations,
@@ -45,4 +133,43 @@ Dataset alic::buildDataset(const SpaptBenchmark &B, size_t NumConfigs,
     D.TestMeans.push_back(Sum / double(MeanObservations));
   }
   return D;
+}
+
+Dataset alic::loadOrBuildDataset(const SpaptBenchmark &B, size_t NumConfigs,
+                                 double TrainFraction,
+                                 unsigned MeanObservations, uint64_t Seed,
+                                 const std::string &CacheDir) {
+  if (CacheDir.empty())
+    return buildDataset(B, NumConfigs, TrainFraction, MeanObservations, Seed);
+
+  uint64_t Key =
+      datasetCacheKey(B, NumConfigs, TrainFraction, MeanObservations, Seed);
+  std::string Path = CacheDir + "/" + B.name() + "_" +
+                     formatString("%016llx", (unsigned long long)Key) + ".alds";
+
+  ByteReader Reader({});
+  if (ByteReader::fromFile(Path, Reader)) {
+    uint32_t Magic, Version;
+    uint64_t StoredKey;
+    Dataset Cached;
+    if (Reader.readU32(Magic) && Magic == DatasetBlobMagic &&
+        Reader.readU32(Version) && Version == DatasetBlobVersion &&
+        Reader.readU64(StoredKey) && StoredKey == Key &&
+        deserializeDataset(Reader, Cached))
+      return Cached;
+    // Stale or corrupt entry: fall through and rebuild it below.
+  }
+
+  Dataset Fresh =
+      buildDataset(B, NumConfigs, TrainFraction, MeanObservations, Seed);
+  std::error_code Ec;
+  std::filesystem::create_directories(CacheDir, Ec);
+  ByteWriter Writer;
+  Writer.writeU32(DatasetBlobMagic);
+  Writer.writeU32(DatasetBlobVersion);
+  Writer.writeU64(Key);
+  serializeDataset(Fresh, Writer);
+  // Best effort: a failed write only costs the next run a rebuild.
+  (void)Writer.writeFileAtomic(Path);
+  return Fresh;
 }

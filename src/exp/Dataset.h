@@ -21,6 +21,7 @@
 #include "tunable/Normalizer.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace alic {
@@ -43,6 +44,16 @@ struct Dataset {
 Dataset buildDataset(const SpaptBenchmark &B, size_t NumConfigs,
                      double TrainFraction, unsigned MeanObservations,
                      uint64_t Seed);
+
+/// buildDataset memoized in a keyed on-disk cache.  The cache key covers
+/// the benchmark name, every profiling parameter, the seed, and the blob
+/// format version; a hit deserializes a dataset that is bit-identical to
+/// a fresh buildDataset, a miss (or a stale/corrupt blob) rebuilds and
+/// rewrites the entry atomically.  \p CacheDir is created on demand; an
+/// empty \p CacheDir disables caching entirely.
+Dataset loadOrBuildDataset(const SpaptBenchmark &B, size_t NumConfigs,
+                           double TrainFraction, unsigned MeanObservations,
+                           uint64_t Seed, const std::string &CacheDir);
 
 } // namespace alic
 

@@ -62,14 +62,8 @@ RunResult alic::runLearning(const SpaptBenchmark &B, const Dataset &D,
   ScaledNoiseOracle Oracle(B, Options.NoiseScale);
   std::unique_ptr<SurrogateModel> Model = makeModel(Options, S, Seed);
 
-  ActiveLearnerConfig Cfg;
-  Cfg.NumInitial = S.NumInitial;
-  Cfg.InitObservations = S.InitObservations;
-  Cfg.MaxTrainingExamples = S.MaxTrainingExamples;
-  Cfg.CandidatesPerIteration = S.CandidatesPerIteration;
-  Cfg.ReferenceSetSize = S.ReferenceSetSize;
-  Cfg.Scorer = Options.Scorer;
-  Cfg.BatchSize = Options.BatchSize;
+  ActiveLearnerConfig Cfg = Options.Learner;
+  S.applyTo(Cfg);
   Cfg.Seed = Seed;
 
   ActiveLearner Learner(Oracle, *Model, D.Norm, D.TrainPool, Plan, Cfg,
@@ -119,7 +113,11 @@ RunResult alic::runAveraged(const SpaptBenchmark &B, const Dataset &D,
     Runs.push_back(runLearning(B, D, Plan, S,
                                hashCombine({BaseSeed, uint64_t(Rep)}),
                                Options));
+  return averageRuns(Runs);
+}
 
+RunResult alic::averageRuns(const std::vector<RunResult> &Runs) {
+  assert(!Runs.empty() && "need at least one run");
   // Average pointwise; runs share the iteration grid, so clip to the
   // shortest curve (pool exhaustion can shorten a run).
   size_t MinLen = Runs.front().Curve.size();

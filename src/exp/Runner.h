@@ -43,11 +43,16 @@ struct RunResult {
   double TotalCostSeconds = 0.0;
 };
 
-/// Extra knobs for ablations.
+/// Everything a learning run needs beyond the benchmark, dataset, plan,
+/// and scale: the single options struct experiment drivers (benches, the
+/// campaign orchestrator) pass around.
 struct RunOptions {
-  ScorerKind Scorer = ScorerKind::Alc;
+  /// Learner policy knobs — scorer and batch size live here and nowhere
+  /// else.  The scale-derived size fields (ninit, nmax, nc, ...) and the
+  /// per-run seed are filled in by runLearning via ExperimentScale::
+  /// applyTo, so no caller copies them by hand.
+  ActiveLearnerConfig Learner;
   ModelKind Model = ModelKind::DynaTree;
-  unsigned BatchSize = 1;
   /// Multiplies every drawn measurement's noise (future-work experiment);
   /// 1.0 = the benchmark's calibrated noise.
   double NoiseScale = 1.0;
@@ -66,6 +71,12 @@ RunResult runAveraged(const SpaptBenchmark &B, const Dataset &D,
                       SamplingPlan Plan, const ExperimentScale &S,
                       uint64_t BaseSeed,
                       const RunOptions &Options = RunOptions());
+
+/// Pointwise average of single-seed runs sharing one iteration grid
+/// (curves clip to the shortest run; counters average integrally) — the
+/// aggregation step of runAveraged, exposed so the campaign orchestrator
+/// reproduces it exactly from checkpointed per-seed cells.
+RunResult averageRuns(const std::vector<RunResult> &Runs);
 
 /// Lowest-common-error comparison of two curves (Table 1 semantics): the
 /// error level is the worst of the two curves' best errors, and each cost

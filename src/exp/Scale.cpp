@@ -2,7 +2,17 @@
 
 #include "exp/Scale.h"
 
+#include "core/ActiveLearner.h"
+
 using namespace alic;
+
+void ExperimentScale::applyTo(ActiveLearnerConfig &Cfg) const {
+  Cfg.NumInitial = NumInitial;
+  Cfg.InitObservations = InitObservations;
+  Cfg.MaxTrainingExamples = MaxTrainingExamples;
+  Cfg.CandidatesPerIteration = CandidatesPerIteration;
+  Cfg.ReferenceSetSize = ReferenceSetSize;
+}
 
 ExperimentScale ExperimentScale::preset(ScaleKind Kind) {
   ExperimentScale S;

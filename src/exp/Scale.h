@@ -26,6 +26,8 @@
 
 namespace alic {
 
+struct ActiveLearnerConfig;
+
 /// All scale-dependent experiment parameters.
 struct ExperimentScale {
   size_t NumConfigs = 3000;       ///< profiled configurations per benchmark
@@ -41,6 +43,13 @@ struct ExperimentScale {
   unsigned EvalEvery = 10;        ///< iterations between test-set RMSE evals
   size_t TestSubset = 400;        ///< test points used per evaluation
   unsigned ObservationCap = 35;   ///< nobs cap for the sequential plan
+
+  /// Copies the scale-derived learner knobs (ninit, seed observations,
+  /// nmax, nc, reference-set size) into \p Cfg, leaving the policy knobs
+  /// (scorer, batch size, seed) untouched.  The single point where scale
+  /// parameters become learner parameters — experiment drivers must not
+  /// copy these fields by hand.
+  void applyTo(ActiveLearnerConfig &Cfg) const;
 
   /// Returns the preset for \p Kind.
   static ExperimentScale preset(ScaleKind Kind);

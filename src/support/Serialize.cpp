@@ -1,0 +1,181 @@
+//===- support/Serialize.cpp ----------------------------------*- C++ -*-===//
+
+#include "support/Serialize.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace alic;
+
+void ByteWriter::writeU16(uint16_t Value) {
+  Buffer.push_back(uint8_t(Value & 0xff));
+  Buffer.push_back(uint8_t(Value >> 8));
+}
+
+void ByteWriter::writeU32(uint32_t Value) {
+  for (int Shift = 0; Shift != 32; Shift += 8)
+    Buffer.push_back(uint8_t((Value >> Shift) & 0xff));
+}
+
+void ByteWriter::writeU64(uint64_t Value) {
+  for (int Shift = 0; Shift != 64; Shift += 8)
+    Buffer.push_back(uint8_t((Value >> Shift) & 0xff));
+}
+
+void ByteWriter::writeDouble(double Value) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(Value), "IEEE-754 double expected");
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  writeU64(Bits);
+}
+
+void ByteWriter::writeString(const std::string &Value) {
+  writeU64(Value.size());
+  Buffer.insert(Buffer.end(), Value.begin(), Value.end());
+}
+
+void ByteWriter::writeU16s(const std::vector<uint16_t> &Values) {
+  writeU64(Values.size());
+  for (uint16_t V : Values)
+    writeU16(V);
+}
+
+void ByteWriter::writeDoubles(const std::vector<double> &Values) {
+  writeU64(Values.size());
+  for (double V : Values)
+    writeDouble(V);
+}
+
+bool ByteWriter::writeFileAtomic(const std::string &Path) const {
+  std::string TmpPath = Path + ".tmp";
+  std::FILE *File = std::fopen(TmpPath.c_str(), "wb");
+  if (!File)
+    return false;
+  size_t Written =
+      Buffer.empty() ? 0 : std::fwrite(Buffer.data(), 1, Buffer.size(), File);
+  bool Ok = Written == Buffer.size() && std::fflush(File) == 0;
+  Ok = std::fclose(File) == 0 && Ok;
+  if (!Ok) {
+    std::remove(TmpPath.c_str());
+    return false;
+  }
+  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    std::remove(TmpPath.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ByteReader::fromFile(const std::string &Path, ByteReader &Out) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  std::vector<uint8_t> Bytes;
+  uint8_t Chunk[1 << 16];
+  size_t Got;
+  while ((Got = std::fread(Chunk, 1, sizeof(Chunk), File)) > 0)
+    Bytes.insert(Bytes.end(), Chunk, Chunk + Got);
+  bool Ok = std::ferror(File) == 0;
+  std::fclose(File);
+  if (!Ok)
+    return false;
+  Out = ByteReader(std::move(Bytes));
+  return true;
+}
+
+bool ByteReader::take(size_t Count, const uint8_t *&Out) {
+  if (Failed || Count > Buffer.size() - Pos || Pos > Buffer.size()) {
+    Failed = true;
+    return false;
+  }
+  Out = Buffer.data() + Pos;
+  Pos += Count;
+  return true;
+}
+
+bool ByteReader::readU8(uint8_t &Value) {
+  Value = 0;
+  const uint8_t *Bytes;
+  if (!take(1, Bytes))
+    return false;
+  Value = Bytes[0];
+  return true;
+}
+
+bool ByteReader::readU16(uint16_t &Value) {
+  Value = 0;
+  const uint8_t *Bytes;
+  if (!take(2, Bytes))
+    return false;
+  Value = uint16_t(Bytes[0] | (uint16_t(Bytes[1]) << 8));
+  return true;
+}
+
+bool ByteReader::readU32(uint32_t &Value) {
+  Value = 0;
+  const uint8_t *Bytes;
+  if (!take(4, Bytes))
+    return false;
+  for (int I = 0; I != 4; ++I)
+    Value |= uint32_t(Bytes[I]) << (8 * I);
+  return true;
+}
+
+bool ByteReader::readU64(uint64_t &Value) {
+  Value = 0;
+  const uint8_t *Bytes;
+  if (!take(8, Bytes))
+    return false;
+  for (int I = 0; I != 8; ++I)
+    Value |= uint64_t(Bytes[I]) << (8 * I);
+  return true;
+}
+
+bool ByteReader::readDouble(double &Value) {
+  Value = 0.0;
+  uint64_t Bits;
+  if (!readU64(Bits))
+    return false;
+  std::memcpy(&Value, &Bits, sizeof(Value));
+  return true;
+}
+
+bool ByteReader::readString(std::string &Value) {
+  Value.clear();
+  uint64_t Count;
+  if (!readU64(Count))
+    return false;
+  const uint8_t *Bytes;
+  if (!take(size_t(Count), Bytes))
+    return false;
+  Value.assign(Bytes, Bytes + Count);
+  return true;
+}
+
+bool ByteReader::readU16s(std::vector<uint16_t> &Values) {
+  Values.clear();
+  uint64_t Count;
+  if (!readU64(Count) || Count > Buffer.size()) { // each element needs >= 2B
+    Failed = true;
+    return false;
+  }
+  Values.resize(size_t(Count));
+  for (uint16_t &V : Values)
+    if (!readU16(V))
+      return false;
+  return true;
+}
+
+bool ByteReader::readDoubles(std::vector<double> &Values) {
+  Values.clear();
+  uint64_t Count;
+  if (!readU64(Count) || Count > Buffer.size()) { // each element needs 8B
+    Failed = true;
+    return false;
+  }
+  Values.resize(size_t(Count));
+  for (double &V : Values)
+    if (!readDouble(V))
+      return false;
+  return true;
+}

@@ -1,0 +1,95 @@
+//===- support/Serialize.h - Binary blob reader/writer --------*- C++ -*-===//
+//
+// Part of the ALIC project: a reproduction of "Minimizing the Cost of
+// Iterative Compilation with Active Learning" (Ogilvie et al., CGO 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny explicit-layout binary serializer used for on-disk caches (the
+/// campaign orchestrator memoizes buildDataset blobs with it).  Every
+/// scalar is written little-endian byte by byte and doubles travel as raw
+/// IEEE-754 bits, so a round trip reproduces values bit-for-bit on any
+/// host this project targets.  Readers are fully bounds-checked: a
+/// truncated or corrupted blob flips a sticky failure flag instead of
+/// reading out of bounds, and callers discard the cache entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIC_SUPPORT_SERIALIZE_H
+#define ALIC_SUPPORT_SERIALIZE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alic {
+
+/// Appends scalars and vectors to a growing byte buffer.
+class ByteWriter {
+public:
+  void writeU8(uint8_t Value) { Buffer.push_back(Value); }
+  void writeU16(uint16_t Value);
+  void writeU32(uint32_t Value);
+  void writeU64(uint64_t Value);
+  /// Raw IEEE-754 bits; round-trips exactly.
+  void writeDouble(double Value);
+  /// u64 length followed by the bytes.
+  void writeString(const std::string &Value);
+  void writeU16s(const std::vector<uint16_t> &Values);
+  void writeDoubles(const std::vector<double> &Values);
+
+  const std::vector<uint8_t> &bytes() const { return Buffer; }
+  size_t size() const { return Buffer.size(); }
+
+  /// Writes the buffer to \p Path atomically (temporary file + rename), so
+  /// concurrent readers never observe a half-written blob.  Returns false
+  /// on I/O failure.
+  bool writeFileAtomic(const std::string &Path) const;
+
+private:
+  std::vector<uint8_t> Buffer;
+};
+
+/// Consumes a byte buffer written by ByteWriter.  All reads are
+/// bounds-checked; the first out-of-range read sets the sticky failure
+/// flag, zeroes the output, and every later read fails too, so callers
+/// can validate once at the end with ok().
+class ByteReader {
+public:
+  explicit ByteReader(std::vector<uint8_t> Bytes) : Buffer(std::move(Bytes)) {}
+
+  /// Loads \p Path into a reader; false when the file cannot be read.
+  static bool fromFile(const std::string &Path, ByteReader &Out);
+
+  bool readU8(uint8_t &Value);
+  bool readU16(uint16_t &Value);
+  bool readU32(uint32_t &Value);
+  bool readU64(uint64_t &Value);
+  bool readDouble(double &Value);
+  bool readString(std::string &Value);
+  bool readU16s(std::vector<uint16_t> &Values);
+  bool readDoubles(std::vector<double> &Values);
+
+  /// True while every read so far stayed in bounds.
+  bool ok() const { return !Failed; }
+
+  /// True when the cursor consumed the whole buffer.
+  bool atEnd() const { return Pos == Buffer.size(); }
+
+  /// Bytes left to read.  Callers deserializing containers-of-containers
+  /// must bound their outer element counts against this before resizing,
+  /// so a corrupt length prefix cannot trigger a giant allocation.
+  size_t remaining() const { return Buffer.size() - Pos; }
+
+private:
+  bool take(size_t Count, const uint8_t *&Out);
+
+  std::vector<uint8_t> Buffer;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace alic
+
+#endif // ALIC_SUPPORT_SERIALIZE_H

@@ -30,6 +30,19 @@ Normalizer Normalizer::fit(const std::vector<std::vector<double>> &Rows) {
   return N;
 }
 
+Normalizer Normalizer::fromMoments(std::vector<double> Means,
+                                   std::vector<double> Stds) {
+  assert(Means.size() == Stds.size() && "moment vectors must match");
+  for (double Sd : Stds) {
+    assert(Sd > 0.0 && "standard deviations must be positive");
+    (void)Sd;
+  }
+  Normalizer N;
+  N.Means = std::move(Means);
+  N.Stds = std::move(Stds);
+  return N;
+}
+
 std::vector<double> Normalizer::transform(const std::vector<double> &Row) const {
   assert(Row.size() == Means.size() && "dimension mismatch");
   std::vector<double> Out(Row.size());

@@ -30,6 +30,12 @@ public:
   /// Dimensions with zero variance map to zero.
   static Normalizer fit(const std::vector<std::vector<double>> &Rows);
 
+  /// Rebuilds a normalizer from previously fitted moments (deserialization
+  /// of cached datasets).  \p Means and \p Stds must be equal length and
+  /// every standard deviation positive.
+  static Normalizer fromMoments(std::vector<double> Means,
+                                std::vector<double> Stds);
+
   /// Transforms one feature vector.
   std::vector<double> transform(const std::vector<double> &Row) const;
 

@@ -1,0 +1,296 @@
+//===- tests/campaign_test.cpp - campaign orchestrator tests --*- C++ -*-===//
+//
+// Pins the campaign determinism contract: the aggregate JSON is
+// byte-identical at any worker thread count, under shuffled cell
+// completion order, and across interrupt/resume boundaries; the dataset
+// blob cache returns datasets bit-identical to a fresh buildDataset.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Campaign.h"
+#include "exp/Dataset.h"
+#include "spapt/Suite.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+using namespace alic;
+
+namespace {
+
+/// A seconds-cheap campaign that still crosses two benchmarks, two plans,
+/// and two seeds (and keeps the noise cells).
+CampaignSpec tinySpec() {
+  CampaignSpec Spec;
+  Spec.Benchmarks = {"mvt", "atax"};
+  Spec.Scale = ExperimentScale::preset(ScaleKind::Smoke);
+  Spec.Scale.NumConfigs = 300;
+  Spec.Scale.MaxTrainingExamples = 20;
+  Spec.Scale.CandidatesPerIteration = 15;
+  Spec.Scale.ReferenceSetSize = 15;
+  Spec.Scale.Particles = 40;
+  Spec.Scale.EvalEvery = 5;
+  Spec.Scale.TestSubset = 50;
+  Spec.ScaleName = "tiny";
+  Spec.Plans = {SamplingPlan::fixed(5), SamplingPlan::sequential(10)};
+  Spec.Repetitions = 2;
+  return Spec;
+}
+
+/// Fresh per-test state directory under the gtest temp root.
+std::string freshStateDir(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "alic_campaign_" + Name;
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+std::string runToJson(const CampaignSpec &Spec, CampaignOptions Options) {
+  Options.Quiet = true;
+  CampaignResult Result;
+  if (!runCampaign(Spec, Options, Result))
+    ADD_FAILURE() << "campaign did not complete in " << Options.StateDir;
+  return campaignJson(Spec, Result);
+}
+
+} // namespace
+
+TEST(CampaignTest, ExpansionCoversCrossProductPlusNoise) {
+  CampaignSpec Spec = tinySpec();
+  Spec.Models = {ModelKind::DynaTree, ModelKind::Gp};
+  Spec.Scorers = {ScorerKind::Alm, ScorerKind::Alc};
+  std::vector<CampaignCell> Cells = expandCells(Spec);
+  // 2 benchmarks x 2 models x 2 scorers x 1 batch x 2 plans x 2 reps + 2.
+  EXPECT_EQ(Cells.size(), 2u * 2 * 2 * 1 * 2 * 2 + 2);
+  // Keys are unique and scale-fingerprinted.
+  std::set<std::string> Keys;
+  for (const CampaignCell &Cell : Cells) {
+    std::string Key = Cell.key(Spec);
+    EXPECT_TRUE(Keys.insert(Key).second) << "duplicate key " << Key;
+    EXPECT_NE(Key.find("fp="), std::string::npos);
+  }
+  CampaignSpec Other = Spec;
+  Other.Scale.NumConfigs += 1;
+  EXPECT_NE(Cells.front().key(Spec), Cells.front().key(Other));
+}
+
+TEST(CampaignTest, AggregateIdenticalAcrossThreadCounts) {
+  CampaignSpec Spec = tinySpec();
+  std::string Reference;
+  for (unsigned Threads : {0u, 1u, 8u}) {
+    CampaignOptions Options;
+    Options.StateDir =
+        freshStateDir("threads" + std::to_string(Threads));
+    Options.Threads = Threads;
+    std::string Json = runToJson(Spec, Options);
+    if (Reference.empty())
+      Reference = Json;
+    EXPECT_EQ(Json, Reference) << "thread count " << Threads
+                               << " changed the aggregate";
+    std::filesystem::remove_all(Options.StateDir);
+  }
+  EXPECT_FALSE(Reference.empty());
+}
+
+TEST(CampaignTest, AggregateIdenticalUnderShuffledCompletionOrder) {
+  CampaignSpec Spec = tinySpec();
+  CampaignOptions Ordered;
+  Ordered.StateDir = freshStateDir("ordered");
+  std::string Reference = runToJson(Spec, Ordered);
+
+  for (uint64_t ShuffleSeed : {7ull, 991ull}) {
+    CampaignOptions Shuffled;
+    Shuffled.StateDir =
+        freshStateDir("shuffled" + std::to_string(ShuffleSeed));
+    Shuffled.Threads = 2;
+    Shuffled.ShuffleSeed = ShuffleSeed;
+    EXPECT_EQ(runToJson(Spec, Shuffled), Reference)
+        << "completion order leaked into the aggregate";
+    std::filesystem::remove_all(Shuffled.StateDir);
+  }
+  std::filesystem::remove_all(Ordered.StateDir);
+}
+
+TEST(CampaignTest, InterruptAndResumeMatchesUninterrupted) {
+  CampaignSpec Spec = tinySpec();
+
+  CampaignOptions Interrupted;
+  Interrupted.StateDir = freshStateDir("resume");
+  Interrupted.Quiet = true;
+  Interrupted.MaxCells = 3;
+  CampaignProgress First = runCampaignCells(Spec, Interrupted);
+  EXPECT_FALSE(First.Complete);
+  EXPECT_EQ(First.NewlyRun, 3u);
+  CampaignResult ShouldFail;
+  EXPECT_FALSE(aggregateCampaign(Spec, Interrupted, ShouldFail));
+
+  // Resume with a different thread count (and no cap): only the missing
+  // cells run, and the aggregate matches an uninterrupted campaign.
+  CampaignOptions Resumed = Interrupted;
+  Resumed.MaxCells = 0;
+  Resumed.Threads = 4;
+  CampaignProgress Second = runCampaignCells(Spec, Resumed);
+  EXPECT_TRUE(Second.Complete);
+  EXPECT_EQ(Second.AlreadyDone, 3u);
+  EXPECT_EQ(Second.NewlyRun, First.TotalCells - 3u);
+  CampaignResult Result;
+  ASSERT_TRUE(aggregateCampaign(Spec, Resumed, Result));
+
+  CampaignOptions Uninterrupted;
+  Uninterrupted.StateDir = freshStateDir("uninterrupted");
+  EXPECT_EQ(campaignJson(Spec, Result), runToJson(Spec, Uninterrupted));
+  std::filesystem::remove_all(Interrupted.StateDir);
+  std::filesystem::remove_all(Uninterrupted.StateDir);
+}
+
+TEST(CampaignTest, ResumeSkipsCompletedCellsAndSurvivesPartialLine) {
+  CampaignSpec Spec = tinySpec();
+  CampaignOptions Options;
+  Options.StateDir = freshStateDir("ledger");
+  Options.Quiet = true;
+  CampaignProgress First = runCampaignCells(Spec, Options);
+  EXPECT_TRUE(First.Complete);
+
+  // Re-launching the same spec runs nothing.
+  CampaignProgress Again = runCampaignCells(Spec, Options);
+  EXPECT_TRUE(Again.Complete);
+  EXPECT_EQ(Again.NewlyRun, 0u);
+  EXPECT_EQ(Again.AlreadyDone, First.TotalCells);
+
+  CampaignResult Reference;
+  ASSERT_TRUE(aggregateCampaign(Spec, Options, Reference));
+
+  // Simulate a crash mid-append: a partial trailing line (no newline)
+  // must be ignored, not corrupt the ledger.
+  {
+    std::ofstream Ledger(Options.ledgerPath(), std::ios::app);
+    Ledger << "{\"cell\":\"run|truncated-by-a-cra";
+  }
+  CampaignProgress AfterCrash = runCampaignCells(Spec, Options);
+  EXPECT_TRUE(AfterCrash.Complete);
+  EXPECT_EQ(AfterCrash.NewlyRun, 0u);
+  CampaignResult Recovered;
+  ASSERT_TRUE(aggregateCampaign(Spec, Options, Recovered));
+  EXPECT_EQ(campaignJson(Spec, Recovered), campaignJson(Spec, Reference));
+  std::filesystem::remove_all(Options.StateDir);
+}
+
+TEST(CampaignTest, AppendAfterCrashRemnantSealsPartialLine) {
+  // A crash can die mid-append, leaving a partial line with NO newline.
+  // The next run must not glue its first record onto the remnant (which
+  // would lose both lines); it seals the remnant and proceeds.
+  CampaignSpec Spec = tinySpec();
+  CampaignOptions Options;
+  Options.StateDir = freshStateDir("remnant");
+  Options.Quiet = true;
+  std::filesystem::create_directories(Options.StateDir);
+  {
+    std::ofstream Ledger(Options.ledgerPath());
+    Ledger << "{\"cell\":\"run|died-mid-app"; // no trailing newline
+  }
+  std::string Json = runToJson(Spec, Options);
+
+  CampaignOptions Clean;
+  Clean.StateDir = freshStateDir("remnant_clean");
+  EXPECT_EQ(Json, runToJson(Spec, Clean));
+  std::filesystem::remove_all(Options.StateDir);
+  std::filesystem::remove_all(Clean.StateDir);
+}
+
+TEST(CampaignTest, NoiseOnlySpecNeedsNoRunCells) {
+  CampaignSpec Spec = tinySpec();
+  Spec.Plans.clear();
+  CampaignOptions Options;
+  Options.StateDir = freshStateDir("noiseonly");
+  Options.Quiet = true;
+  CampaignResult Result;
+  ASSERT_TRUE(runCampaign(Spec, Options, Result));
+  EXPECT_TRUE(Result.Combos.empty());
+  ASSERT_EQ(Result.Noise.size(), 2u);
+  EXPECT_EQ(Result.Noise[0].Benchmark, "mvt");
+  EXPECT_GT(Result.Noise[0].Ci35Mean, 0.0);
+  EXPECT_GE(Result.Noise[0].VarMax, Result.Noise[0].VarMin);
+  std::filesystem::remove_all(Options.StateDir);
+}
+
+TEST(CampaignTest, DatasetCacheReturnsBitIdenticalDatasets) {
+  auto B = createSpaptBenchmark("mvt");
+  std::string CacheDir = freshStateDir("dscache");
+
+  Dataset Fresh = buildDataset(*B, 200, 0.6, 5, 11);
+  Dataset Miss = loadOrBuildDataset(*B, 200, 0.6, 5, 11, CacheDir);
+  Dataset Hit = loadOrBuildDataset(*B, 200, 0.6, 5, 11, CacheDir);
+
+  for (const Dataset *D : {&Miss, &Hit}) {
+    EXPECT_EQ(D->TrainPool, Fresh.TrainPool);
+    EXPECT_EQ(D->TestConfigs, Fresh.TestConfigs);
+    EXPECT_EQ(D->TestFeatures, Fresh.TestFeatures);
+    EXPECT_EQ(D->TestMeans, Fresh.TestMeans);
+    ASSERT_EQ(D->Norm.numDims(), Fresh.Norm.numDims());
+    for (size_t I = 0; I != Fresh.Norm.numDims(); ++I) {
+      EXPECT_EQ(D->Norm.mean(I), Fresh.Norm.mean(I));
+      EXPECT_EQ(D->Norm.stddev(I), Fresh.Norm.stddev(I));
+    }
+  }
+
+  // A corrupt blob falls back to a rebuild instead of failing.
+  for (const auto &Entry : std::filesystem::directory_iterator(CacheDir)) {
+    std::ofstream Corrupt(Entry.path(), std::ios::trunc);
+    Corrupt << "not a dataset blob";
+  }
+  Dataset Rebuilt = loadOrBuildDataset(*B, 200, 0.6, 5, 11, CacheDir);
+  EXPECT_EQ(Rebuilt.TestMeans, Fresh.TestMeans);
+
+  // So does a blob whose header validates but whose first length prefix
+  // is absurd (must be rejected without attempting a giant allocation).
+  for (const auto &Entry : std::filesystem::directory_iterator(CacheDir)) {
+    std::fstream Blob(Entry.path(),
+                      std::ios::in | std::ios::out | std::ios::binary);
+    Blob.seekp(16); // past magic + version + key
+    for (int I = 0; I != 8; ++I)
+      Blob.put(char(0xff));
+  }
+  Dataset Rebuilt2 = loadOrBuildDataset(*B, 200, 0.6, 5, 11, CacheDir);
+  EXPECT_EQ(Rebuilt2.TestMeans, Fresh.TestMeans);
+  std::filesystem::remove_all(CacheDir);
+}
+
+TEST(CampaignTest, AggregateMatchesRunAveragedSemantics) {
+  // The campaign's per-plan averaging must reproduce runAveraged exactly:
+  // renderers built on campaign output keep their historical numbers.
+  CampaignSpec Spec = tinySpec();
+  Spec.Benchmarks = {"mvt"};
+  Spec.NoiseCells = false;
+  CampaignOptions Options;
+  Options.StateDir = freshStateDir("semantics");
+  Options.Quiet = true;
+  CampaignResult Result;
+  ASSERT_TRUE(runCampaign(Spec, Options, Result));
+  ASSERT_EQ(Result.Combos.size(), 1u);
+  ASSERT_EQ(Result.Combos[0].PlanResults.size(), 2u);
+
+  auto B = createSpaptBenchmark("mvt");
+  const ExperimentScale &S = Spec.Scale;
+  Dataset D = buildDataset(*B, S.NumConfigs, S.TrainFraction,
+                           S.MeanObservations, Spec.DatasetSeed);
+  ExperimentScale TwoReps = S;
+  TwoReps.Repetitions = Spec.repetitions();
+  for (size_t P = 0; P != Spec.Plans.size(); ++P) {
+    RunResult Direct =
+        runAveraged(*B, D, Spec.Plans[P], TwoReps, Spec.BaseRunSeed);
+    const RunResult &FromCampaign = Result.Combos[0].PlanResults[P];
+    ASSERT_EQ(FromCampaign.Curve.size(), Direct.Curve.size());
+    for (size_t I = 0; I != Direct.Curve.size(); ++I) {
+      EXPECT_EQ(FromCampaign.Curve[I].Iteration, Direct.Curve[I].Iteration);
+      EXPECT_EQ(FromCampaign.Curve[I].CostSeconds,
+                Direct.Curve[I].CostSeconds);
+      EXPECT_EQ(FromCampaign.Curve[I].Rmse, Direct.Curve[I].Rmse);
+    }
+    EXPECT_EQ(FromCampaign.FinalRmse, Direct.FinalRmse);
+    EXPECT_EQ(FromCampaign.TotalCostSeconds, Direct.TotalCostSeconds);
+  }
+  std::filesystem::remove_all(Options.StateDir);
+}

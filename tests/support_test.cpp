@@ -5,6 +5,7 @@
 #include "support/FlatRows.h"
 #include "support/Format.h"
 #include "support/Rng.h"
+#include "support/Serialize.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 
@@ -13,6 +14,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <set>
 
 using namespace alic;
@@ -430,4 +432,118 @@ TEST(RowRefTest, ViewsVectorsWithoutCopying) {
   EXPECT_EQ(R.size(), 3u);
   EXPECT_DOUBLE_EQ(R[1], 2.0);
   EXPECT_EQ(R.toVector(), V);
+}
+
+//===----------------------------------------------------------------------===//
+// Serialize
+//===----------------------------------------------------------------------===//
+
+TEST(SerializeTest, ScalarRoundTrip) {
+  ByteWriter W;
+  W.writeU8(0xab);
+  W.writeU16(0xbeef);
+  W.writeU32(0xdeadbeefu);
+  W.writeU64(0x0123456789abcdefull);
+  W.writeDouble(-1.5);
+  W.writeString("campaign");
+
+  ByteReader R(W.bytes());
+  uint8_t U8;
+  uint16_t U16;
+  uint32_t U32;
+  uint64_t U64;
+  double D;
+  std::string S;
+  EXPECT_TRUE(R.readU8(U8));
+  EXPECT_TRUE(R.readU16(U16));
+  EXPECT_TRUE(R.readU32(U32));
+  EXPECT_TRUE(R.readU64(U64));
+  EXPECT_TRUE(R.readDouble(D));
+  EXPECT_TRUE(R.readString(S));
+  EXPECT_EQ(U8, 0xab);
+  EXPECT_EQ(U16, 0xbeef);
+  EXPECT_EQ(U32, 0xdeadbeefu);
+  EXPECT_EQ(U64, 0x0123456789abcdefull);
+  EXPECT_DOUBLE_EQ(D, -1.5);
+  EXPECT_EQ(S, "campaign");
+  EXPECT_TRUE(R.ok());
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(SerializeTest, DoubleBitsSurviveExactly) {
+  // Values whose decimal renderings are lossy must still round trip: the
+  // writer stores raw IEEE bits.
+  const double Values[] = {0.1, 1.0 / 3.0, 6.02214076e23, 5e-324,
+                           -0.0,  1e308};
+  ByteWriter W;
+  for (double V : Values)
+    W.writeDouble(V);
+  ByteReader R(W.bytes());
+  for (double V : Values) {
+    double Read;
+    ASSERT_TRUE(R.readDouble(Read));
+    uint64_t WantBits, GotBits;
+    std::memcpy(&WantBits, &V, sizeof(WantBits));
+    std::memcpy(&GotBits, &Read, sizeof(GotBits));
+    EXPECT_EQ(GotBits, WantBits);
+  }
+}
+
+TEST(SerializeTest, VectorRoundTrip) {
+  ByteWriter W;
+  W.writeU16s({1, 2, 65535});
+  W.writeDoubles({0.25, -7.5});
+  W.writeDoubles({});
+  ByteReader R(W.bytes());
+  std::vector<uint16_t> U16s;
+  std::vector<double> Doubles, Empty;
+  EXPECT_TRUE(R.readU16s(U16s));
+  EXPECT_TRUE(R.readDoubles(Doubles));
+  EXPECT_TRUE(R.readDoubles(Empty));
+  EXPECT_EQ(U16s, (std::vector<uint16_t>{1, 2, 65535}));
+  EXPECT_EQ(Doubles, (std::vector<double>{0.25, -7.5}));
+  EXPECT_TRUE(Empty.empty());
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(SerializeTest, TruncationIsStickyNotFatal) {
+  ByteWriter W;
+  W.writeU64(7);
+  std::vector<uint8_t> Bytes = W.bytes();
+  Bytes.pop_back(); // truncate
+  ByteReader R(std::move(Bytes));
+  uint64_t Value;
+  EXPECT_FALSE(R.readU64(Value));
+  EXPECT_FALSE(R.ok());
+  uint8_t Byte;
+  EXPECT_FALSE(R.readU8(Byte)); // sticky: later reads fail too
+}
+
+TEST(SerializeTest, HugeLengthPrefixIsRejected) {
+  // A corrupt length prefix must not trigger a giant allocation.
+  ByteWriter W;
+  W.writeU64(uint64_t(1) << 60);
+  ByteReader R(W.bytes());
+  std::vector<double> Doubles;
+  EXPECT_FALSE(R.readDoubles(Doubles));
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(SerializeTest, AtomicFileRoundTrip) {
+  std::string Path = ::testing::TempDir() + "alic_serialize_test.bin";
+  ByteWriter W;
+  W.writeString("hello");
+  W.writeDouble(2.5);
+  ASSERT_TRUE(W.writeFileAtomic(Path));
+
+  ByteReader R({});
+  ASSERT_TRUE(ByteReader::fromFile(Path, R));
+  std::string S;
+  double D;
+  EXPECT_TRUE(R.readString(S));
+  EXPECT_TRUE(R.readDouble(D));
+  EXPECT_EQ(S, "hello");
+  EXPECT_DOUBLE_EQ(D, 2.5);
+  EXPECT_TRUE(R.atEnd());
+  std::remove(Path.c_str());
 }
