@@ -15,7 +15,7 @@
 #include "dynatree/DynaTree.h"
 #include "gp/GaussianProcess.h"
 #include "support/Rng.h"
-#include "support/ThreadPool.h"
+#include "support/Scheduler.h"
 
 #include <benchmark/benchmark.h>
 
@@ -70,11 +70,11 @@ void BM_DynaTreeUpdateParticles(benchmark::State &State) {
   makeData(640, X, Y);
   DynaTreeConfig C;
   C.NumParticles = Particles;
-  std::unique_ptr<ThreadPool> Pool; // outlives the model it is wired to
+  std::unique_ptr<Scheduler> Pool; // outlives the model it is wired to
   DynaTree M(C);
   if (Threads != 0) {
-    Pool = std::make_unique<ThreadPool>(Threads);
-    M.setThreadPool(Pool.get());
+    Pool = std::make_unique<Scheduler>(Threads);
+    M.setScheduler(Pool.get());
   }
   M.fit({X.begin(), X.begin() + 400}, {Y.begin(), Y.begin() + 400});
   size_t Next = 400;
@@ -148,10 +148,10 @@ void BM_GpAlcScoring(benchmark::State &State) {
   M.fit({X.begin(), X.begin() + long(N)}, {Y.begin(), Y.begin() + long(N)});
   std::vector<std::vector<double>> Cands(X.end() - 500, X.end());
   std::vector<std::vector<double>> Ref(X.end() - 600, X.end() - 500);
-  std::unique_ptr<ThreadPool> Pool;
+  std::unique_ptr<Scheduler> Pool;
   ScoreContext Ctx;
   if (Threads != 0) {
-    Pool = std::make_unique<ThreadPool>(Threads);
+    Pool = std::make_unique<Scheduler>(Threads);
     Ctx.Pool = Pool.get();
   }
   for (auto _ : State)

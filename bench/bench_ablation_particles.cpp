@@ -14,7 +14,7 @@
 #include "BenchCommon.h"
 #include "dynatree/DynaTree.h"
 #include "support/Rng.h"
-#include "support/ThreadPool.h"
+#include "support/Scheduler.h"
 
 #include <chrono>
 #include <cmath>
@@ -92,11 +92,11 @@ int main() {
       DynaTreeConfig C;
       C.NumParticles = Particles;
       C.Seed = 17;
-      std::unique_ptr<ThreadPool> Pool; // outlives the model it is wired to
+      std::unique_ptr<Scheduler> Pool; // outlives the model it is wired to
       DynaTree M(C);
       if (Threads != 0) {
-        Pool = std::make_unique<ThreadPool>(Threads);
-        M.setThreadPool(Pool.get());
+        Pool = std::make_unique<Scheduler>(Threads);
+        M.setScheduler(Pool.get());
       }
       M.fit({X.begin(), X.begin() + long(SeedPoints)},
             {Y.begin(), Y.begin() + long(SeedPoints)});

@@ -27,6 +27,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace alic;
@@ -63,7 +64,11 @@ std::vector<std::string> splitList(const std::string &Csv) {
       "  --scorers=LIST        alc,alm,random (default: alc)\n"
       "  --batches=LIST        step batch sizes (default: 1)\n"
       "  --seeds=N             repetitions per combo (default: scale's)\n"
-      "  --threads=N           cell-level worker threads (default: 0 = inline)\n"
+      "  --threads=N|auto      scheduler workers; cells run as tasks and\n"
+      "                        fork their inner shards onto the same pool\n"
+      "                        (auto = hardware concurrency; 0 = inline)\n"
+      "  --flat-cells          keep cells model-internally sequential (the\n"
+      "                        pre-scheduler cell-granularity budget)\n"
       "  --state-dir=DIR       checkpoint ledger + dataset cache location\n"
       "                        (default: alic-campaign-<scale>)\n"
       "  --out=PATH            aggregate JSON (default: BENCH_campaign.json)\n"
@@ -161,8 +166,14 @@ int main(int argc, char **argv) {
       if (!Spec.Repetitions)
         usage(argv[0], "--seeds must be positive");
     } else if (parseFlag(argv[I], "--threads", Value)) {
-      Options.Threads =
-          unsigned(parseCount(argv[0], Value, "bad --threads value"));
+      if (Value == "auto")
+        Options.Threads =
+            std::max(1u, std::thread::hardware_concurrency());
+      else
+        Options.Threads =
+            unsigned(parseCount(argv[0], Value, "bad --threads value"));
+    } else if (std::strcmp(argv[I], "--flat-cells") == 0) {
+      Options.NestCells = false;
     } else if (parseFlag(argv[I], "--state-dir", Value)) {
       Options.StateDir = Value;
     } else if (parseFlag(argv[I], "--out", Value)) {
@@ -192,6 +203,13 @@ int main(int argc, char **argv) {
   CampaignProgress Progress = runCampaignCells(Spec, Options);
   std::printf("cells: %zu total, %zu already checkpointed, %zu run now\n",
               Progress.TotalCells, Progress.AlreadyDone, Progress.NewlyRun);
+  if (Progress.WorkersUsed)
+    std::printf("scheduler: %u worker(s), %llu task(s) executed "
+                "(%zu cells + nested shards), %llu steal(s)%s\n",
+                Progress.WorkersUsed,
+                (unsigned long long)Progress.TasksExecuted, Progress.NewlyRun,
+                (unsigned long long)Progress.Steals,
+                Options.NestCells ? "" : " [flat cells]");
   if (!Progress.Complete) {
     std::printf("campaign interrupted by --max-cells; re-run the same "
                 "command to resume from %s\n",

@@ -56,14 +56,14 @@ PickOutcome pickOutcome(const SamplingPlan &Plan, bool Revisit,
 ActiveLearner::ActiveLearner(const WorkloadOracle &Oracle,
                              SurrogateModel &Model, Normalizer Norm,
                              std::vector<Config> Pool, SamplingPlan Plan,
-                             ActiveLearnerConfig Cfg, ThreadPool *Workers)
+                             ActiveLearnerConfig Cfg, Scheduler *Workers)
     : Oracle(Oracle), Model(Model), Norm(std::move(Norm)),
       Pool(std::move(Pool)), Plan(Plan), Cfg(Cfg),
       Prof(Oracle, hashCombine({Cfg.Seed, 0x50524f46ull})),
       Generator(Cfg.Seed), Workers(Workers) {
   assert(!this->Pool.empty() && "training pool must not be empty");
   assert(Cfg.NumInitial >= 1 && "need at least one seed example");
-  setThreadPool(Workers);
+  setScheduler(Workers);
   Unseen.resize(this->Pool.size());
   for (size_t I = 0; I != this->Pool.size(); ++I)
     Unseen[I] = uint32_t(I);

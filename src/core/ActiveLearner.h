@@ -39,7 +39,7 @@
 
 namespace alic {
 
-class ThreadPool;
+class Scheduler;
 
 /// How many observations each selected training example receives.
 struct SamplingPlan {
@@ -99,10 +99,13 @@ public:
   /// \p Norm maps raw feature vectors to model space.  The model must be
   /// unfitted; seeding happens on the first step().  When \p Workers is
   /// non-null, candidate scoring is sharded across it; the loop's results
-  /// are bit-identical with or without a pool, at any thread count.
+  /// are bit-identical with or without a scheduler, at any worker count.
+  /// The loop itself may run inside a scheduler task (a campaign cell):
+  /// its inner shards fork onto the same pool and idle workers steal
+  /// them.
   ActiveLearner(const WorkloadOracle &Oracle, SurrogateModel &Model,
                 Normalizer Norm, std::vector<Config> Pool, SamplingPlan Plan,
-                ActiveLearnerConfig Cfg, ThreadPool *Workers = nullptr);
+                ActiveLearnerConfig Cfg, Scheduler *Workers = nullptr);
 
   /// Runs one loop iteration (the first call performs the seeding phase)
   /// labelling Cfg.BatchSize examples.  Returns false when the completion
@@ -115,13 +118,13 @@ public:
   /// in stats() exactly as in the one-at-a-time path.
   bool step(unsigned Batch);
 
-  /// Installs (or removes, with nullptr) the worker pool.  It shards
+  /// Installs (or removes, with nullptr) the scheduler.  It shards
   /// candidate scoring, batched measurement, and the model's internal
   /// work (the dynamic tree's per-particle SMC update); results stay
-  /// bit-identical at any thread count.
-  void setThreadPool(ThreadPool *Workers) {
+  /// bit-identical at any worker count.
+  void setScheduler(Scheduler *Workers) {
     this->Workers = Workers;
-    Model.setThreadPool(Workers);
+    Model.setScheduler(Workers);
   }
 
   /// True when nmax training examples have been absorbed.
@@ -147,7 +150,7 @@ private:
   ActiveLearnerConfig Cfg;
   Profiler Prof;
   Rng Generator;
-  ThreadPool *Workers = nullptr;
+  Scheduler *Workers = nullptr;
 
   /// Indices into Pool that have never been selected.
   std::vector<uint32_t> Unseen;

@@ -4,7 +4,7 @@
 
 #include "stats/Distributions.h"
 #include "support/Error.h"
-#include "support/ThreadPool.h"
+#include "support/Scheduler.h"
 
 #include <algorithm>
 #include <atomic>

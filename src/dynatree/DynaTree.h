@@ -42,10 +42,13 @@
 ///    (grow/prune) or its pending list fills up.
 ///
 ///  * **Deterministic parallel updates.**  Reweighting and propagation
-///    shard across a ThreadPool on a fixed particle grid; every particle
-///    draws from its own counter-derived RNG stream (seed, step, index),
-///    so results are bit-identical at any thread count — the same
-///    discipline ScoreContext::shardSeed established for scoring.
+///    shard across the work-stealing Scheduler on a fixed particle grid;
+///    every particle draws from its own counter-derived RNG stream
+///    (seed, step, index), so results are bit-identical at any worker
+///    count and under any steal order — the same discipline
+///    ScoreContext::shardSeed established for scoring.  The shards fork
+///    onto the same pool even when the model already runs inside a
+///    scheduler task (a campaign cell), so idle workers can steal them.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -62,7 +65,7 @@
 
 namespace alic {
 
-class ThreadPool;
+class Scheduler;
 
 /// Tuning constants of the dynamic-tree model.
 struct DynaTreeConfig {
@@ -105,7 +108,7 @@ public:
                                 const ScoreContext &Ctx = ScoreContext())
       const override;
   size_t numObservations() const override { return DataY.size(); }
-  void setThreadPool(ThreadPool *Pool) override { Workers = Pool; }
+  void setScheduler(Scheduler *Pool) override { Workers = Pool; }
 
   /// Ensemble diagnostics (tests, benches).
   double averageLeafCount() const;
@@ -255,7 +258,7 @@ private:
   double LogK0 = 0.0;
   double LastEss = 0.0;
   uint64_t StepCounter = 0; ///< SMC steps performed (one per point)
-  ThreadPool *Workers = nullptr;
+  Scheduler *Workers = nullptr;
 };
 
 } // namespace alic

@@ -9,7 +9,7 @@
 #include "stats/OnlineStats.h"
 #include "support/Error.h"
 #include "support/Format.h"
-#include "support/ThreadPool.h"
+#include "support/Scheduler.h"
 
 #include <algorithm>
 #include <charconv>
@@ -492,16 +492,18 @@ CellResult computeNoiseCell(const CampaignSpec &Spec,
 }
 
 CellResult computeRunCell(const CampaignSpec &Spec, const CampaignCell &Cell,
-                          const Dataset &D) {
+                          const Dataset &D, Scheduler *Workers) {
   auto B = createSpaptBenchmark(Cell.Benchmark);
   RunOptions Options;
   Options.Model = Cell.Model;
   Options.Learner.Scorer = Cell.Scorer;
   Options.Learner.BatchSize = Cell.BatchSize;
-  // Cells stay model-internally sequential: the pool's parallelism budget
-  // is spent at cell granularity, and a worker blocking on nested pool
-  // work would deadlock ThreadPool::waitAll.
-  Options.Workers = nullptr;
+  // Nested parallelism: this cell already runs as a scheduler task, and
+  // its learner forks particle shards, scoring shards, and batched
+  // profiler draws back onto the same pool — TaskGroup::wait helps
+  // instead of blocking, so idle workers steal the inner shards at the
+  // campaign tail.  Results are bit-identical with or without Workers.
+  Options.Workers = Workers;
   uint64_t Seed = hashCombine({Spec.BaseRunSeed, uint64_t(Cell.Rep)});
   CellResult Result;
   Result.Run = runLearning(*B, D, Cell.Plan, Spec.Scale, Seed, Options);
@@ -509,7 +511,7 @@ CellResult computeRunCell(const CampaignSpec &Spec, const CampaignCell &Cell,
 }
 
 /// Runs \p Fn(I) for every index either inline or across \p Pool.
-void forEachIndex(ThreadPool *Pool, size_t N,
+void forEachIndex(Scheduler *Pool, size_t N,
                   const std::function<void(size_t)> &Fn) {
   if (!Pool) {
     for (size_t I = 0; I != N; ++I)
@@ -566,9 +568,16 @@ CampaignProgress alic::runCampaignCells(const CampaignSpec &Spec,
     return Progress;
   }
 
-  std::unique_ptr<ThreadPool> Pool;
-  if (Options.Threads)
-    Pool = std::make_unique<ThreadPool>(Options.Threads);
+  std::unique_ptr<Scheduler> Pool;
+  if (Options.Threads) {
+    Scheduler::Options SchedOptions;
+    SchedOptions.Threads = Options.Threads;
+    if (Options.StealSeed)
+      SchedOptions.StealSeed = Options.StealSeed;
+    Pool = std::make_unique<Scheduler>(SchedOptions);
+    Progress.WorkersUsed = Pool->numThreads();
+  }
+  Scheduler *CellWorkers = Options.NestCells ? Pool.get() : nullptr;
 
   // Memoize each needed benchmark's dataset once, up front (the blob
   // cache makes this a deserialize on every run after the first).
@@ -620,7 +629,8 @@ CampaignProgress alic::runCampaignCells(const CampaignSpec &Spec,
     CellResult Result =
         Cell.CellKind == CampaignCell::Kind::Noise
             ? computeNoiseCell(Spec, Cell.Benchmark)
-            : computeRunCell(Spec, Cell, Datasets.at(Cell.Benchmark));
+            : computeRunCell(Spec, Cell, Datasets.at(Cell.Benchmark),
+                             CellWorkers);
     std::string Key = Cell.key(Spec);
     std::string Line = cellLine(Key, Cell.CellKind, Result);
 
@@ -640,6 +650,11 @@ CampaignProgress alic::runCampaignCells(const CampaignSpec &Spec,
   });
   std::fclose(Out);
 
+  if (Pool) {
+    SchedulerStats Stats = Pool->stats();
+    Progress.TasksExecuted = Stats.Executed;
+    Progress.Steals = Stats.Steals;
+  }
   Progress.NewlyRun = Missing.size();
   Progress.Complete =
       Progress.AlreadyDone + Progress.NewlyRun == Progress.TotalCells;

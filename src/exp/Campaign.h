@@ -10,14 +10,20 @@
 /// Figure 5, Figure 6): a work-queue that expands a CampaignSpec — the
 /// cross-product of benchmarks x surrogate models x scorers x batch sizes
 /// x sampling plans x seeds at any ExperimentScale — into independent run
-/// cells, shards the cells across a ThreadPool, and checkpoints every
-/// completed cell to a crash-safe JSONL ledger.
+/// cells, submits the cells as top-level tasks of a work-stealing
+/// Scheduler, and checkpoints every completed cell to a crash-safe JSONL
+/// ledger.  Cells are *nested-parallel*: each cell's learner forks its
+/// inner work (DynaTree particle shards, GP/KNN scoring shards, batched
+/// profiler draws) onto the same scheduler, so when the campaign tail
+/// leaves fewer cells than workers, the idle workers steal the straggler
+/// cells' inner shards instead of spinning down.
 ///
 /// Determinism contract (regression-tested):
 ///  * every cell is a pure function of its key — cells never share mutable
-///    state, and the learner runs model-internally sequential inside a
-///    cell, so cell-level parallelism composes with the bit-reproducible
-///    runs pinned by PRs 1-2;
+///    state, and every inner shard grid plus its per-shard counter-derived
+///    seeds are independent of worker count and steal order, so nested
+///    cell parallelism composes with the bit-reproducible runs pinned by
+///    PRs 1-2;
 ///  * aggregation happens only over the parsed checkpoint (doubles round
 ///    trip through %.17g exactly), in canonical spec order — so the
 ///    aggregate JSON is byte-identical at any worker thread count, under
@@ -140,9 +146,19 @@ struct CampaignResult {
 /// Knobs of one orchestrator invocation (not part of any cell key:
 /// changing them never changes results, only how they are produced).
 struct CampaignOptions {
-  /// Worker threads cells shard across; 0 runs cells inline.  Aggregate
-  /// output is byte-identical at any value.
+  /// Scheduler workers; 0 runs cells inline with no scheduler at all.
+  /// Aggregate output is byte-identical at any value.
   unsigned Threads = 0;
+  /// Cells fork their inner work (model updates, candidate scoring,
+  /// batched measurement) onto the campaign scheduler, so idle workers
+  /// steal inner shards at the campaign tail.  Disable to pin the old
+  /// cell-granularity budget (bench_scheduler's flat baseline).  Results
+  /// are bit-identical either way.
+  bool NestCells = true;
+  /// Non-zero: overrides the scheduler's victim-selection seed (stress
+  /// tests force different steal interleavings; results never depend on
+  /// it).
+  uint64_t StealSeed = 0;
   /// Ledger + dataset-cache directory; created on demand.
   std::string StateDir = "alic-campaign";
   /// Stop after completing this many new cells (0 = run to completion) —
@@ -166,6 +182,10 @@ struct CampaignProgress {
   size_t AlreadyDone = 0;  ///< found complete in the ledger
   size_t NewlyRun = 0;     ///< computed and appended by this invocation
   bool Complete = false;   ///< every spec cell is now in the ledger
+  // Scheduler observability (never part of any result).
+  unsigned WorkersUsed = 0;  ///< scheduler worker threads (0 = inline)
+  uint64_t TasksExecuted = 0; ///< cells + stolen/forked inner shards
+  uint64_t Steals = 0;       ///< tasks taken from another worker's deque
 };
 
 /// Expands \p Spec into its cells, in canonical (deterministic) order:

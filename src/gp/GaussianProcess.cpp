@@ -4,7 +4,7 @@
 
 #include "support/Error.h"
 #include "support/Rng.h"
-#include "support/ThreadPool.h"
+#include "support/Scheduler.h"
 
 #include <cassert>
 #include <cmath>
@@ -112,6 +112,14 @@ void GaussianProcess::fit(const FlatRows &X, const std::vector<double> &Y) {
   Rng R(Config.Seed);
   GpHyperParams Best = Params;
   double BestMl = -1e300;
+  // Restart 0 of a re-optimization: the previous optimum.  Evaluating it
+  // first (the random restarts draw the same stream either way) makes
+  // the selected log marginal likelihood numerically no worse than a
+  // cold search — and the first fit() identical to one.
+  if (Config.WarmStart && PrevOptimum) {
+    BestMl = refitWith(*PrevOptimum);
+    Best = *PrevOptimum;
+  }
   for (unsigned Trial = 0; Trial != Config.OptimizerRestarts; ++Trial) {
     GpHyperParams P;
     P.SignalVariance = Var * std::exp(R.nextUniform(-1.5, 1.5));
@@ -124,6 +132,7 @@ void GaussianProcess::fit(const FlatRows &X, const std::vector<double> &Y) {
     }
   }
   refitWith(Best);
+  PrevOptimum = Best;
 }
 
 void GaussianProcess::update(RowRef X, double Y) {

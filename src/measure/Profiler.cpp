@@ -3,7 +3,7 @@
 #include "measure/Profiler.h"
 
 #include "support/Error.h"
-#include "support/ThreadPool.h"
+#include "support/Scheduler.h"
 
 #include <cassert>
 
@@ -61,7 +61,7 @@ std::vector<double> Profiler::measure(const Config &C, unsigned Count) {
 }
 
 std::vector<double> Profiler::measureBatch(const std::vector<Config> &Batch,
-                                           ThreadPool *Pool) {
+                                           Scheduler *Pool) {
   // Serial pass: resolve per-config state (charging compilations in batch
   // order) and assign each entry its observation index.  Duplicated
   // configurations get consecutive indices, exactly as sequential

@@ -27,7 +27,7 @@
 
 namespace alic {
 
-class ThreadPool;
+class Scheduler;
 
 /// Ground-truth provider for one tunable workload.
 class WorkloadOracle {
@@ -83,8 +83,10 @@ public:
   /// calling measureOnce on each entry in order — duplicates in the batch
   /// receive consecutive per-config observation indices — because samples
   /// are counter-based; the ledger is charged serially in batch order.
+  /// May be called from inside a scheduler task: the draw shards fork
+  /// onto the same pool.
   std::vector<double> measureBatch(const std::vector<Config> &Batch,
-                                   ThreadPool *Pool = nullptr);
+                                   Scheduler *Pool = nullptr);
 
   /// The value observation \p SampleIndex of \p C would have: a pure
   /// function of (StreamSeed, key(C), SampleIndex).  Does not advance the

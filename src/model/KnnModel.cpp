@@ -4,7 +4,7 @@
 
 #include "linalg/Matrix.h"
 #include "support/Error.h"
-#include "support/ThreadPool.h"
+#include "support/Scheduler.h"
 
 #include <algorithm>
 #include <cassert>

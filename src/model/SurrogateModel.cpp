@@ -3,7 +3,7 @@
 #include "model/SurrogateModel.h"
 
 #include "support/Rng.h"
-#include "support/ThreadPool.h"
+#include "support/Scheduler.h"
 
 using namespace alic;
 

@@ -28,7 +28,7 @@
 
 namespace alic {
 
-class ThreadPool;
+class Scheduler;
 
 /// Predictive distribution summary at one point.
 struct Prediction {
@@ -38,14 +38,17 @@ struct Prediction {
 
 /// Execution context for batched candidate scoring.  The active learner
 /// scores a 500-candidate pool against a 100-point reference set every
-/// iteration; this context lets models shard that work across a thread
-/// pool while staying bit-identical to the sequential path: shards are cut
-/// on a grid that depends only on the candidate count (never the thread
-/// count), each shard writes disjoint outputs, and any stochastic scorer
-/// must draw from shardSeed(Shard) rather than shared mutable state.
+/// iteration; this context lets models shard that work across the
+/// work-stealing scheduler while staying bit-identical to the sequential
+/// path: shards are cut on a grid that depends only on the candidate
+/// count (never the worker count), each shard writes disjoint outputs,
+/// and any stochastic scorer must draw from shardSeed(Shard) rather than
+/// shared mutable state.  Scoring may itself run inside a scheduler task
+/// (a campaign cell): the shards then fork onto the same pool, and idle
+/// workers steal them.
 struct ScoreContext {
-  /// Pool to shard the scoring over; null means score sequentially.
-  ThreadPool *Pool = nullptr;
+  /// Scheduler to shard the scoring over; null means score sequentially.
+  Scheduler *Pool = nullptr;
 
   /// Base seed for stochastic scorers (unused by closed-form ALC/ALM).
   uint64_t Seed = 0;
@@ -97,11 +100,13 @@ public:
   /// Number of observations absorbed so far.
   virtual size_t numObservations() const = 0;
 
-  /// Installs (or removes, with nullptr) a worker pool models may use to
+  /// Installs (or removes, with nullptr) the scheduler models may use to
   /// parallelize their *internal* work — e.g. the dynamic tree shards its
-  /// per-particle SMC update.  Implementations must keep results
-  /// bit-identical at any thread count, including none.
-  virtual void setThreadPool(ThreadPool *Workers) { (void)Workers; }
+  /// per-particle SMC update.  Nesting is legal: when the model already
+  /// runs inside a scheduler task, its inner shards fork onto the same
+  /// pool.  Implementations must keep results bit-identical at any
+  /// worker count, including none.
+  virtual void setScheduler(Scheduler *Workers) { (void)Workers; }
 };
 
 } // namespace alic

@@ -1,4 +1,4 @@
-//===- support/ThreadPool.h - Minimal fixed-size thread pool --*- C++ -*-===//
+//===- support/ThreadPool.h - Compat shim over the Scheduler --*- C++ -*-===//
 //
 // Part of the ALIC project: a reproduction of "Minimizing the Cost of
 // Iterative Compilation with Active Learning" (Ogilvie et al., CGO 2017).
@@ -6,74 +6,22 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small fixed-size thread pool used to run independent experiment
-/// repetitions concurrently.  Determinism is preserved by giving each task
-/// its own pre-derived RNG seed, so scheduling order never affects results.
+/// Compatibility shim.  The fixed-size ThreadPool was replaced by the
+/// work-stealing support/Scheduler (which is a drop-in superset: submit,
+/// waitAll, parallelFor, parallelForShards, plus legal nested
+/// parallelism).  Existing includes and the ThreadPool name keep
+/// working; new code should include support/Scheduler.h directly.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALIC_SUPPORT_THREADPOOL_H
 #define ALIC_SUPPORT_THREADPOOL_H
 
-#include <condition_variable>
-#include <functional>
-#include <mutex>
-#include <queue>
-#include <thread>
-#include <vector>
+#include "support/Scheduler.h"
 
 namespace alic {
 
-/// Fixed-size worker pool with a wait-for-all barrier.
-class ThreadPool {
-public:
-  /// Starts \p NumThreads workers (0 means hardware concurrency, min 1).
-  explicit ThreadPool(unsigned NumThreads = 0);
-
-  /// Drains outstanding work and joins the workers.
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool &) = delete;
-  ThreadPool &operator=(const ThreadPool &) = delete;
-
-  /// Enqueues \p Task for execution.
-  void submit(std::function<void()> Task);
-
-  /// Blocks until every submitted task has finished.
-  void waitAll();
-
-  /// Number of worker threads.
-  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
-
-  /// Runs \p Fn(I) for I in [0, N), distributing across the pool, and waits.
-  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
-
-  /// Runs \p Fn(Shard, Begin, End) over ceil(N / ShardSize) contiguous
-  /// shards of [0, N) and waits.  Shard boundaries depend only on \p N and
-  /// \p ShardSize — never on the thread count — so deterministic work (and
-  /// per-shard pre-derived RNG seeds keyed on the shard index) produces
-  /// bit-identical results at any parallelism.
-  void parallelForShards(size_t N, size_t ShardSize,
-                         const std::function<void(size_t, size_t, size_t)> &Fn);
-
-private:
-  void workerLoop();
-
-  std::vector<std::thread> Workers;
-  std::queue<std::function<void()>> Tasks;
-  std::mutex Mutex;
-  std::condition_variable TaskAvailable;
-  std::condition_variable AllDone;
-  size_t InFlight = 0;
-  bool ShuttingDown = false;
-};
-
-/// Runs \p Fn(Shard, Begin, End) over the fixed shard grid of [0, N) — on
-/// \p Pool when non-null, inline (in shard order) when null.  The grid is
-/// identical either way, so code written against this helper is
-/// bit-reproducible between its sequential and parallel executions.
-void shardedFor(ThreadPool *Pool, size_t N, size_t ShardSize,
-                const std::function<void(size_t, size_t, size_t)> &Fn);
+using ThreadPool = Scheduler;
 
 } // namespace alic
 

@@ -5,7 +5,7 @@
 #include "exp/Dataset.h"
 #include "gp/GaussianProcess.h"
 #include "spapt/Suite.h"
-#include "support/ThreadPool.h"
+#include "support/Scheduler.h"
 
 #include <gtest/gtest.h>
 
@@ -186,7 +186,7 @@ TEST(ActiveLearnerTest, ParallelAlcBitIdenticalToSequential) {
   ActiveLearnerConfig Cfg = F.config(60);
   Cfg.CandidatesPerIteration = 100; // several shards per iteration
 
-  auto runWith = [&](ThreadPool *Pool) {
+  auto runWith = [&](Scheduler *Pool) {
     DynaTree M(F.modelConfig());
     ActiveLearner L(*F.B, M, F.D.Norm, F.D.TrainPool,
                     SamplingPlan::sequential(35), Cfg, Pool);
@@ -199,7 +199,7 @@ TEST(ActiveLearnerTest, ParallelAlcBitIdenticalToSequential) {
 
   auto Sequential = runWith(nullptr);
   for (unsigned Threads : {1u, 4u}) {
-    ThreadPool Pool(Threads);
+    Scheduler Pool(Threads);
     EXPECT_EQ(runWith(&Pool), Sequential) << "thread count " << Threads;
   }
 }
@@ -219,7 +219,7 @@ TEST(ActiveLearnerTest, ParallelAlcScoresBitIdenticalOnModel) {
   std::vector<std::vector<double>> Ref(X.begin() + 10, X.begin() + 50);
 
   std::vector<double> Sequential = M.alcScores(Cands, Ref);
-  ThreadPool Pool(5);
+  Scheduler Pool(5);
   ScoreContext Ctx;
   Ctx.Pool = &Pool;
   Ctx.ShardSize = 16;
@@ -235,7 +235,7 @@ TEST(ActiveLearnerTest, GpSurrogateLoopMatchesAcrossPools) {
   ActiveLearnerConfig Cfg = F.config(25);
   Cfg.CandidatesPerIteration = 64;
 
-  auto runWith = [&](ThreadPool *Pool) {
+  auto runWith = [&](Scheduler *Pool) {
     GaussianProcess M(G);
     ActiveLearner L(*F.B, M, F.D.Norm, F.D.TrainPool,
                     SamplingPlan::sequential(35), Cfg, Pool);
@@ -245,7 +245,7 @@ TEST(ActiveLearnerTest, GpSurrogateLoopMatchesAcrossPools) {
                           M.predict(F.D.TestFeatures.front()).Mean);
   };
 
-  ThreadPool Pool(3);
+  Scheduler Pool(3);
   EXPECT_EQ(runWith(nullptr), runWith(&Pool));
 }
 

@@ -77,10 +77,13 @@ TEST(CampaignTest, ExpansionCoversCrossProductPlusNoise) {
   EXPECT_NE(Cells.front().key(Spec), Cells.front().key(Other));
 }
 
-TEST(CampaignTest, AggregateIdenticalAcrossThreadCounts) {
+TEST(CampaignTest, AggregateIdenticalAcrossWorkerCounts) {
+  // Cells are nested-parallel by default (their inner shards fork onto
+  // the campaign scheduler), so this also pins that nesting changes
+  // nothing: inline, 1, 2, and 8 workers all produce the same bytes.
   CampaignSpec Spec = tinySpec();
   std::string Reference;
-  for (unsigned Threads : {0u, 1u, 8u}) {
+  for (unsigned Threads : {0u, 1u, 2u, 8u}) {
     CampaignOptions Options;
     Options.StateDir =
         freshStateDir("threads" + std::to_string(Threads));
@@ -88,11 +91,40 @@ TEST(CampaignTest, AggregateIdenticalAcrossThreadCounts) {
     std::string Json = runToJson(Spec, Options);
     if (Reference.empty())
       Reference = Json;
-    EXPECT_EQ(Json, Reference) << "thread count " << Threads
+    EXPECT_EQ(Json, Reference) << "worker count " << Threads
                                << " changed the aggregate";
     std::filesystem::remove_all(Options.StateDir);
   }
   EXPECT_FALSE(Reference.empty());
+}
+
+TEST(CampaignTest, AggregateIdenticalUnderStealInterleavingsAndFlatCells) {
+  // Forced steal interleavings (varied victim-selection seeds) and the
+  // flat cell-granularity fallback must all render the same bytes as the
+  // inline reference.
+  CampaignSpec Spec = tinySpec();
+  CampaignOptions Inline;
+  Inline.StateDir = freshStateDir("steal-ref");
+  std::string Reference = runToJson(Spec, Inline);
+  std::filesystem::remove_all(Inline.StateDir);
+
+  for (uint64_t StealSeed : {0x5eedull, 0xfeedull}) {
+    CampaignOptions Nested;
+    Nested.StateDir = freshStateDir("steal" + std::to_string(StealSeed));
+    Nested.Threads = 4;
+    Nested.StealSeed = StealSeed;
+    EXPECT_EQ(runToJson(Spec, Nested), Reference)
+        << "steal seed " << StealSeed << " changed the aggregate";
+    std::filesystem::remove_all(Nested.StateDir);
+  }
+
+  CampaignOptions Flat;
+  Flat.StateDir = freshStateDir("flat");
+  Flat.Threads = 2;
+  Flat.NestCells = false;
+  EXPECT_EQ(runToJson(Spec, Flat), Reference)
+      << "flat cell-granularity execution changed the aggregate";
+  std::filesystem::remove_all(Flat.StateDir);
 }
 
 TEST(CampaignTest, AggregateIdenticalUnderShuffledCompletionOrder) {

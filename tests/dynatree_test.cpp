@@ -2,7 +2,7 @@
 
 #include "dynatree/DynaTree.h"
 #include "support/Rng.h"
-#include "support/ThreadPool.h"
+#include "support/Scheduler.h"
 
 #include <gtest/gtest.h>
 
@@ -260,9 +260,9 @@ TEST(DynaTreeTest, ParallelUpdatesBitIdenticalAcrossThreadCounts) {
                                                     S.X.begin() + 60});
 
   for (unsigned Threads : {1u, 2u, 8u}) {
-    ThreadPool Pool(Threads);
+    Scheduler Pool(Threads);
     DynaTree M(C);
-    M.setThreadPool(&Pool);
+    M.setScheduler(&Pool);
     S.drive(M);
     Prediction Got = M.predict({0.3, -0.4});
     EXPECT_EQ(Want.Mean, Got.Mean) << Threads << " threads";
@@ -332,8 +332,8 @@ TEST(DynaTreeTest, ThreadedLearningMatchesSerialUnderResampling) {
   Scenario S(400);
   DynaTreeConfig C = smallConfig(150, 31);
   DynaTree Serial(C), Threaded(C);
-  ThreadPool Pool(4);
-  Threaded.setThreadPool(&Pool);
+  Scheduler Pool(4);
+  Threaded.setScheduler(&Pool);
   S.drive(Serial);
   S.drive(Threaded);
   for (double A = -0.8; A <= 0.9; A += 0.4)

@@ -2,7 +2,7 @@
 
 #include "gp/GaussianProcess.h"
 #include "support/Rng.h"
-#include "support/ThreadPool.h"
+#include "support/Scheduler.h"
 
 #include <gtest/gtest.h>
 
@@ -224,7 +224,7 @@ TEST(GpTest, ParallelAlcBitIdenticalToSequential) {
 
   std::vector<double> Sequential = M.alcScores(Cands, Ref);
   for (unsigned Threads : {1u, 3u, 7u}) {
-    ThreadPool Pool(Threads);
+    Scheduler Pool(Threads);
     ScoreContext Ctx;
     Ctx.Pool = &Pool;
     EXPECT_EQ(M.alcScores(Cands, Ref, Ctx), Sequential)
@@ -238,4 +238,56 @@ TEST(GpTest, HandlesDuplicateInputsViaNugget) {
   M.fit({{1.0}, {1.0}, {2.0}}, {3.0, 3.2, 5.0});
   Prediction P = M.predict({1.0});
   EXPECT_NEAR(P.Mean, 3.1, 0.2);
+}
+
+TEST(GpTest, WarmStartReoptimizationNeverWorseThanCold) {
+  // Re-optimization (a second fit on the same model) seeds restart 0
+  // from the previous optimum; the random restarts draw the same stream
+  // as a cold search, so the selected log marginal likelihood is
+  // numerically no worse than a freshly constructed model's.
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  makeSample(50, 17, X, Y);
+
+  GpConfig Opt;
+  Opt.OptimizeHyperParams = true;
+  Opt.OptimizerRestarts = 8;
+
+  GaussianProcess Warm(Opt);
+  Warm.fit(X, Y); // first fit: establishes the warm-start candidate
+  std::vector<std::vector<double>> X2 = X;
+  std::vector<double> Y2 = Y;
+  makeSample(20, 18, X, Y); // grow the training set a little
+  X2.insert(X2.end(), X.begin(), X.end());
+  Y2.insert(Y2.end(), Y.begin(), Y.end());
+  Warm.fit(X2, Y2);
+
+  GaussianProcess Cold(Opt);
+  Cold.fit(X2, Y2);
+  EXPECT_GE(Warm.logMarginalLikelihood(), Cold.logMarginalLikelihood());
+}
+
+TEST(GpTest, FirstOptimizedFitUnaffectedByWarmStartFlag) {
+  // No previous optimum exists on the first fit, so the flag must not
+  // change anything — the campaign ledger stays byte-identical.
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  makeSample(40, 23, X, Y);
+
+  GpConfig WarmCfg;
+  WarmCfg.OptimizeHyperParams = true;
+  WarmCfg.OptimizerRestarts = 8;
+  GpConfig ColdCfg = WarmCfg;
+  ColdCfg.WarmStart = false;
+
+  GaussianProcess Warm(WarmCfg), Cold(ColdCfg);
+  Warm.fit(X, Y);
+  Cold.fit(X, Y);
+  EXPECT_EQ(Warm.logMarginalLikelihood(), Cold.logMarginalLikelihood());
+  EXPECT_EQ(Warm.hyperParams().SignalVariance,
+            Cold.hyperParams().SignalVariance);
+  EXPECT_EQ(Warm.hyperParams().LengthScale, Cold.hyperParams().LengthScale);
+  EXPECT_EQ(Warm.hyperParams().NoiseVariance,
+            Cold.hyperParams().NoiseVariance);
+  EXPECT_EQ(Warm.predict({0.1, -0.2}).Mean, Cold.predict({0.1, -0.2}).Mean);
 }

@@ -4,7 +4,7 @@
 #include "measure/Profiler.h"
 #include "spapt/Suite.h"
 #include "stats/OnlineStats.h"
-#include "support/ThreadPool.h"
+#include "support/Scheduler.h"
 
 #include <gtest/gtest.h>
 
@@ -234,7 +234,7 @@ TEST(ProfilerTest, MeasureBatchMatchesSequentialBitwise) {
     Want.push_back(Sequential.measureOnce(C));
 
   EXPECT_EQ(Want, Batched.measureBatch(Batch));
-  ThreadPool Pool(3);
+  Scheduler Pool(3);
   EXPECT_EQ(Want, Sharded.measureBatch(Batch, &Pool));
 
   EXPECT_EQ(Sequential.ledger().Runs, Batched.ledger().Runs);

@@ -3,7 +3,7 @@
 #include "dynatree/DynaTree.h"
 #include "model/KnnModel.h"
 #include "support/Rng.h"
-#include "support/ThreadPool.h"
+#include "support/Scheduler.h"
 
 #include <gtest/gtest.h>
 
@@ -79,7 +79,7 @@ TEST(KnnModelTest, ParallelAlcBitIdenticalToSequential) {
   std::vector<std::vector<double>> Ref(X.begin() + 90, X.end());
 
   std::vector<double> Sequential = M.alcScores(Cands, Ref);
-  ThreadPool Pool(4);
+  Scheduler Pool(4);
   ScoreContext Ctx;
   Ctx.Pool = &Pool;
   EXPECT_EQ(M.alcScores(Cands, Ref, Ctx), Sequential);

@@ -7,7 +7,7 @@
 #include "support/Rng.h"
 #include "support/Serialize.h"
 #include "support/Table.h"
-#include "support/ThreadPool.h"
+#include "support/ThreadPool.h" // compat shim: ThreadPool = Scheduler
 
 #include <gtest/gtest.h>
 
@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <set>
+#include <type_traits>
 
 using namespace alic;
 
@@ -312,11 +313,18 @@ TEST(EnvTest, ScalePresetNames) {
 }
 
 //===----------------------------------------------------------------------===//
-// ThreadPool
+// Scheduler (basic pool behavior; nesting and stealing live in
+// scheduler_test.cpp)
 //===----------------------------------------------------------------------===//
 
-TEST(ThreadPoolTest, RunsAllTasks) {
-  ThreadPool Pool(4);
+TEST(SchedulerTest, ThreadPoolAliasIsTheScheduler) {
+  // The compat shim keeps the old name alive for out-of-tree users.
+  static_assert(std::is_same_v<ThreadPool, Scheduler>,
+                "support/ThreadPool.h must alias the Scheduler");
+}
+
+TEST(SchedulerTest, RunsAllTasks) {
+  Scheduler Pool(4);
   std::atomic<int> Counter{0};
   for (int I = 0; I != 100; ++I)
     Pool.submit([&Counter] { ++Counter; });
@@ -324,16 +332,16 @@ TEST(ThreadPoolTest, RunsAllTasks) {
   EXPECT_EQ(Counter.load(), 100);
 }
 
-TEST(ThreadPoolTest, ParallelForCoversRange) {
-  ThreadPool Pool(3);
+TEST(SchedulerTest, ParallelForCoversRange) {
+  Scheduler Pool(3);
   std::vector<std::atomic<int>> Hits(64);
   Pool.parallelFor(64, [&Hits](size_t I) { ++Hits[I]; });
   for (auto &H : Hits)
     EXPECT_EQ(H.load(), 1);
 }
 
-TEST(ThreadPoolTest, ReusableAfterWait) {
-  ThreadPool Pool(2);
+TEST(SchedulerTest, ReusableAfterWait) {
+  Scheduler Pool(2);
   std::atomic<int> Counter{0};
   Pool.submit([&] { ++Counter; });
   Pool.waitAll();
@@ -342,8 +350,8 @@ TEST(ThreadPoolTest, ReusableAfterWait) {
   EXPECT_EQ(Counter.load(), 2);
 }
 
-TEST(ThreadPoolTest, ParallelForShardsCoversRangeExactlyOnce) {
-  ThreadPool Pool(3);
+TEST(SchedulerTest, ParallelForShardsCoversRangeExactlyOnce) {
+  Scheduler Pool(3);
   std::vector<std::atomic<int>> Hits(100);
   Pool.parallelForShards(100, 7, [&Hits](size_t, size_t Begin, size_t End) {
     for (size_t I = Begin; I != End; ++I)
@@ -353,11 +361,11 @@ TEST(ThreadPoolTest, ParallelForShardsCoversRangeExactlyOnce) {
     EXPECT_EQ(H.load(), 1);
 }
 
-TEST(ThreadPoolTest, ShardGridIndependentOfThreadCount) {
+TEST(SchedulerTest, ShardGridIndependentOfWorkerCount) {
   // The shard boundaries are a pure function of (N, ShardSize): the
   // sequential path, a 1-thread pool, and a 5-thread pool must all see
   // the same grid — the property candidate scoring's determinism rests on.
-  auto gridOf = [](ThreadPool *Pool) {
+  auto gridOf = [](Scheduler *Pool) {
     std::vector<std::tuple<size_t, size_t, size_t>> Grid(4);
     shardedFor(Pool, 25, 8, [&Grid](size_t Shard, size_t Begin, size_t End) {
       Grid[Shard] = {Shard, Begin, End};
@@ -367,12 +375,12 @@ TEST(ThreadPoolTest, ShardGridIndependentOfThreadCount) {
   std::vector<std::tuple<size_t, size_t, size_t>> Expected = {
       {0, 0, 8}, {1, 8, 16}, {2, 16, 24}, {3, 24, 25}};
   EXPECT_EQ(gridOf(nullptr), Expected);
-  ThreadPool One(1), Five(5);
+  Scheduler One(1), Five(5);
   EXPECT_EQ(gridOf(&One), Expected);
   EXPECT_EQ(gridOf(&Five), Expected);
 }
 
-TEST(ThreadPoolTest, ShardedForRunsInlineWithoutPool) {
+TEST(SchedulerTest, ShardedForRunsInlineWithoutPool) {
   // No pool: shards run on the calling thread, in shard order.
   std::vector<size_t> Order;
   shardedFor(nullptr, 10, 3, [&Order](size_t Shard, size_t, size_t) {
