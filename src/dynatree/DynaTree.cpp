@@ -13,6 +13,22 @@
 
 using namespace alic;
 
+// ThreadSanitizer does not instrument std::atomic_thread_fence, so it
+// cannot see the (valid) fence/use_count synchronization materialize()
+// relies on for its in-place path.  Sanitizer builds therefore always
+// clone — the two paths produce bit-identical tree contents, so only
+// the sanitizer's blind spot goes away, never a result.
+#if defined(__SANITIZE_THREAD__)
+#define ALIC_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ALIC_TSAN 1
+#endif
+#endif
+#ifndef ALIC_TSAN
+#define ALIC_TSAN 0
+#endif
+
 namespace {
 /// Particles per shard of the parallel reweight/propagate phases.  Fixed
 /// (never derived from the thread count) so the shard grid — and with it
@@ -204,7 +220,7 @@ void DynaTree::materialize(Particle &P) {
   // phase other threads only *release* references (when their particles
   // clone), never acquire them, so an observed 1 cannot be stale.  A stale
   // 2 merely takes the clone path, which produces identical contents.
-  if (P.T.use_count() != 1) {
+  if (ALIC_TSAN || P.T.use_count() != 1) {
     P.T = std::make_shared<Tree>(*P.T);
   } else {
     // Order the in-place writes below after a sibling thread's
@@ -216,6 +232,41 @@ void DynaTree::materialize(Particle &P) {
   for (unsigned I = 0; I != P.NumPending; ++I)
     absorbInto(T, P.Pending[I].LeafIdx, P.Pending[I].PointIdx);
   P.NumPending = 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Unique-particle run index
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Two particles are state-identical — and therefore produce bit-equal
+/// leaf walks, posteriors, and scores — when they alias one tree object
+/// and carry the same pending list.  Tree *identity* (not content) is
+/// the criterion: content-equal trees in different allocations would
+/// also dedupe correctly, but detecting them would cost more than it
+/// saves, and resampling only ever creates identity aliases.
+template <typename ParticleT>
+bool sameRunState(const ParticleT &A, const ParticleT &B) {
+  if (A.T.get() != B.T.get() || A.NumPending != B.NumPending)
+    return false;
+  for (unsigned I = 0; I != A.NumPending; ++I)
+    if (A.Pending[I].LeafIdx != B.Pending[I].LeafIdx ||
+        A.Pending[I].PointIdx != B.Pending[I].PointIdx)
+      return false;
+  return true;
+}
+} // namespace
+
+void DynaTree::rebuildRunIndex() {
+  size_t N = Particles.size();
+  RunOffsets.clear();
+  RunOf.resize(N);
+  for (size_t I = 0; I != N; ++I) {
+    if (I == 0 || !sameRunState(Particles[I - 1], Particles[I]))
+      RunOffsets.push_back(uint32_t(I));
+    RunOf[I] = uint32_t(RunOffsets.size() - 1);
+  }
+  RunOffsets.push_back(uint32_t(N));
 }
 
 //===----------------------------------------------------------------------===//
@@ -273,15 +324,85 @@ void DynaTree::resampleParticles(const std::vector<double> &LogWeights) {
   Particles = std::move(Next);
 }
 
-void DynaTree::propagate(Particle &P, uint32_t PointIdx, Rng &R) {
+void DynaTree::propagate(Particle &P, uint32_t PointIdx, Rng &R,
+                         GrowScratch &S, bool ReuseScan) {
   const double *X = DataX.row(PointIdx);
-  int32_t LeafIdx = findLeaf(*P.T, X);
-  LeafStats Eff = leafStats(P, LeafIdx);
-  unsigned D = P.T->Nodes[size_t(LeafIdx)].Depth;
-
   double NewY = DataY[PointIdx];
-  double LStay = logMarginal(Eff.Count + 1, Eff.SumY + NewY,
-                             Eff.SumY2 + NewY * NewY);
+
+  // Candidate-independent preamble — leaf location, effective stats,
+  // bounds, and the packed leaf columns for the grow scan.  Every alias
+  // of a unique-particle run (same tree, same pending list) computes the
+  // exact same values here, so the caller lets consecutive aliases reuse
+  // the scratch: only the RNG draws below differ between them.  Siblings
+  // cannot invalidate the cache mid-run — a clone never touches the
+  // shared tree, in-place materialization requires sole ownership (and a
+  // pending alias still holds a reference), and a sibling's "stay" only
+  // appends to its *own* pending list.
+  if (!ReuseScan)
+    S.Valid = false;
+  if (!S.Valid) {
+    S.LeafIdx = findLeaf(*P.T, X);
+    S.Eff = leafStats(P, S.LeafIdx);
+    S.LStay = logMarginal(S.Eff.Count + 1, S.Eff.SumY + NewY,
+                          S.Eff.SumY2 + NewY * NewY);
+    S.CanGrow = S.Eff.Count + 1 >= 2 * Config.MinLeafSize;
+    S.Spread.clear();
+    if (S.CanGrow) {
+      // The leaf's per-dimension ranges come from its cached bounding box
+      // (expanded on every absorb) folded with the pending points and the
+      // new point — no pass over the leaf's data is needed to bound it.
+      const double *BaseLo = P.T->Bounds.data() + size_t(S.LeafIdx) * 2 * Dims;
+      const double *BaseHi = BaseLo + Dims;
+      S.Lo.assign(BaseLo, BaseLo + Dims);
+      S.Hi.assign(BaseHi, BaseHi + Dims);
+      auto Expand = [&](const double *Row) {
+        for (size_t Dim = 0; Dim != Dims; ++Dim) {
+          S.Lo[Dim] = std::min(S.Lo[Dim], Row[Dim]);
+          S.Hi[Dim] = std::max(S.Hi[Dim], Row[Dim]);
+        }
+      };
+      for (unsigned I = 0; I != P.NumPending; ++I)
+        if (P.Pending[I].LeafIdx == S.LeafIdx)
+          Expand(DataX.row(P.Pending[I].PointIdx));
+      Expand(X);
+      for (size_t Dim = 0; Dim != Dims; ++Dim)
+        if (S.Hi[Dim] > S.Lo[Dim])
+          S.Spread.push_back(int(Dim));
+      if (!S.Spread.empty()) {
+        // Pack the leaf's rows — pending included, new point last, in
+        // forEachLeafPoint order — into one unit-stride column per
+        // spread dimension plus Y and Y^2.  The multi-try scan below
+        // then reads packed arrays instead of chasing PtsChunk links
+        // and Dims-strided DataX gathers per try, and aliased particles
+        // reuse the gather outright.
+        S.Pts.clear();
+        forEachLeafPoint(P, S.LeafIdx,
+                         [&](uint32_t Pt) { S.Pts.push_back(Pt); });
+        size_t NumPts = S.Pts.size() + 1; // + the new point, appended last
+        S.Ys.resize(NumPts);
+        S.Y2s.resize(NumPts);
+        for (size_t I = 0; I != S.Pts.size(); ++I) {
+          double Y = DataY[S.Pts[I]];
+          S.Ys[I] = Y;
+          S.Y2s[I] = Y * Y;
+        }
+        S.Ys[NumPts - 1] = NewY;
+        S.Y2s[NumPts - 1] = NewY * NewY;
+        // Columns are gathered lazily when a try first draws their
+        // dimension (ColDone memoizes per run): a unique particle pays
+        // for at most the <= 4 dimensions its tries touch, while long
+        // alias runs still amortize every gather they need.
+        S.Cols.resize(S.Spread.size() * NumPts);
+        S.ColDone.assign(S.Spread.size(), 0);
+      }
+    }
+    S.Valid = true;
+  }
+
+  int32_t LeafIdx = S.LeafIdx;
+  const LeafStats &Eff = S.Eff;
+  unsigned D = P.T->Nodes[size_t(LeafIdx)].Depth;
+  double LStay = S.LStay;
 
   // --- Candidate: grow -----------------------------------------------
   // Multiple-try proposal: draw a handful of (dimension, cut) pairs from
@@ -289,85 +410,70 @@ void DynaTree::propagate(Particle &P, uint32_t PointIdx, Rng &R) {
   // split, and let their average compete against stay/prune.  This
   // approximates marginalizing the grow move over cut positions, which a
   // single uniform draw does far too weakly.
-  bool CanGrow = Eff.Count + 1 >= 2 * Config.MinLeafSize;
   int GrowDim = -1;
   double GrowCut = 0.0;
   double LGrow = -1e300;
-  if (CanGrow) {
-    // The leaf's per-dimension ranges come from its cached bounding box
-    // (expanded on every absorb) folded with the pending points and the
-    // new point — no pass over the leaf's data is needed to bound it.
-    thread_local std::vector<double> Lo, Hi;
-    thread_local std::vector<int> Spread;
-    const double *BaseLo = P.T->Bounds.data() + size_t(LeafIdx) * 2 * Dims;
-    const double *BaseHi = BaseLo + Dims;
-    Lo.assign(BaseLo, BaseLo + Dims);
-    Hi.assign(BaseHi, BaseHi + Dims);
-    auto Expand = [&](const double *Row) {
-      for (size_t Dim = 0; Dim != Dims; ++Dim) {
-        Lo[Dim] = std::min(Lo[Dim], Row[Dim]);
-        Hi[Dim] = std::max(Hi[Dim], Row[Dim]);
-      }
-    };
-    for (unsigned I = 0; I != P.NumPending; ++I)
-      if (P.Pending[I].LeafIdx == LeafIdx)
-        Expand(DataX.row(P.Pending[I].PointIdx));
-    Expand(X);
-    Spread.clear();
-    for (size_t Dim = 0; Dim != Dims; ++Dim)
-      if (Hi[Dim] > Lo[Dim])
-        Spread.push_back(int(Dim));
-
+  if (S.CanGrow && !S.Spread.empty()) {
     constexpr unsigned NumTries = 4;
     double BestL = -1e300;
     double Pd = splitProbability(D);
     double Pd1 = splitProbability(D + 1);
     double PriorTerm = std::log(Pd) + 2.0 * std::log(1.0 - Pd1) -
                        std::log(1.0 - Pd);
-    if (!Spread.empty()) {
-      // Draw every (dimension, cut) proposal first, then score all of
-      // them in a single cache-linear, *branchless* pass over the leaf's
-      // rows (a predicated accumulate — random cuts mispredict ~50% of
-      // data-dependent branches).  Only the left side is accumulated; the
-      // right side falls out of the leaf totals, halving the arithmetic.
-      struct TryAcc {
-        int Dim;
-        double Cut;
-        uint32_t Nl = 0;
-        double Sl = 0, Sl2 = 0;
-      };
-      TryAcc Tries[NumTries];
-      for (TryAcc &T : Tries) {
-        T.Dim = Spread[R.nextBounded(Spread.size())];
-        T.Cut = R.nextUniform(Lo[size_t(T.Dim)], Hi[size_t(T.Dim)]);
+    // Draw every (dimension, cut) proposal first, then score all of them
+    // branchless (a predicated accumulate — random cuts mispredict ~50%
+    // of data-dependent branches) over the packed columns.  Each try's
+    // accumulators see the exact point order of the historical row-outer
+    // loop, so the FP sums are bit-identical; only the left side is
+    // accumulated — the right side falls out of the leaf totals.
+    struct TryAcc {
+      int Dim;
+      double Cut;
+      uint32_t Nl = 0;
+      double Sl = 0, Sl2 = 0;
+    };
+    TryAcc Tries[NumTries];
+    for (TryAcc &T : Tries) {
+      T.Dim = S.Spread[R.nextBounded(S.Spread.size())];
+      T.Cut = R.nextUniform(S.Lo[size_t(T.Dim)], S.Hi[size_t(T.Dim)]);
+    }
+    size_t NumPts = S.Ys.size();
+    for (TryAcc &T : Tries) {
+      size_t ColIdx = 0;
+      while (S.Spread[ColIdx] != T.Dim)
+        ++ColIdx;
+      double *Col = S.Cols.data() + ColIdx * NumPts;
+      if (!S.ColDone[ColIdx]) {
+        DataX.gatherColumn(size_t(T.Dim), S.Pts.data(), S.Pts.size(), Col);
+        Col[NumPts - 1] = X[size_t(T.Dim)];
+        S.ColDone[ColIdx] = 1;
       }
-      auto Add = [&](const double *Row, double Y) {
-        double Y2 = Y * Y;
-        for (TryAcc &T : Tries) {
-          bool Left = Row[T.Dim] <= T.Cut;
-          double Mask = Left ? 1.0 : 0.0;
-          T.Nl += unsigned(Left);
-          T.Sl += Mask * Y;
-          T.Sl2 += Mask * Y2;
-        }
-      };
-      forEachLeafPoint(P, LeafIdx,
-                       [&](uint32_t Pt) { Add(DataX.row(Pt), DataY[Pt]); });
-      Add(X, NewY);
-      uint32_t TotalN = Eff.Count + 1;
-      double TotalS = Eff.SumY + NewY;
-      double TotalS2 = Eff.SumY2 + NewY * NewY;
-      for (const TryAcc &T : Tries) {
-        uint32_t Nr = TotalN - T.Nl;
-        if (T.Nl < Config.MinLeafSize || Nr < Config.MinLeafSize)
-          continue;
-        double L = PriorTerm + logMarginal(T.Nl, T.Sl, T.Sl2) +
-                   logMarginal(Nr, TotalS - T.Sl, TotalS2 - T.Sl2);
-        if (L > BestL) {
-          BestL = L;
-          GrowDim = T.Dim;
-          GrowCut = T.Cut;
-        }
+      uint32_t Nl = 0;
+      double Sl = 0.0, Sl2 = 0.0;
+      for (size_t I = 0; I != NumPts; ++I) {
+        bool Left = Col[I] <= T.Cut;
+        double Mask = Left ? 1.0 : 0.0;
+        Nl += unsigned(Left);
+        Sl += Mask * S.Ys[I];
+        Sl2 += Mask * S.Y2s[I];
+      }
+      T.Nl = Nl;
+      T.Sl = Sl;
+      T.Sl2 = Sl2;
+    }
+    uint32_t TotalN = Eff.Count + 1;
+    double TotalS = Eff.SumY + NewY;
+    double TotalS2 = Eff.SumY2 + NewY * NewY;
+    for (const TryAcc &T : Tries) {
+      uint32_t Nr = TotalN - T.Nl;
+      if (T.Nl < Config.MinLeafSize || Nr < Config.MinLeafSize)
+        continue;
+      double L = PriorTerm + logMarginal(T.Nl, T.Sl, T.Sl2) +
+                 logMarginal(Nr, TotalS - T.Sl, TotalS2 - T.Sl2);
+      if (L > BestL) {
+        BestL = L;
+        GrowDim = T.Dim;
+        GrowCut = T.Cut;
       }
     }
     if (GrowDim >= 0)
@@ -405,14 +511,11 @@ void DynaTree::propagate(Particle &P, uint32_t PointIdx, Rng &R) {
   double Draw = R.nextDouble() * Total;
 
   if (Draw < WGrow && GrowDim >= 0) {
-    // Grow: the leaf becomes internal with two fresh children.  Gather the
-    // leaf's points (pending included) before materializing so the
-    // repartition order is a pure function of the particle's history.
-    std::vector<uint32_t> Pts;
-    Pts.reserve(Eff.Count + 1);
-    forEachLeafPoint(P, LeafIdx, [&](uint32_t Pt) { Pts.push_back(Pt); });
-    Pts.push_back(PointIdx);
-
+    // Grow: the leaf becomes internal with two fresh children.  The
+    // repartition reuses the scratch's packed gather — S.Pts holds the
+    // leaf's points (pending included) in the pre-materialize traversal
+    // order, with the new point appended below, so the order stays a
+    // pure function of the particle's history.
     materialize(P);
     Tree &T = *P.T;
     int32_t L = int32_t(T.Nodes.size());
@@ -425,10 +528,12 @@ void DynaTree::propagate(Particle &P, uint32_t PointIdx, Rng &R) {
     T.Nodes.push_back(RightChild);
     pushBoundsSlot(T); // children's boxes fill in via absorbInto below
     pushBoundsSlot(T);
-    for (uint32_t Pt : Pts) {
+    for (uint32_t Pt : S.Pts) {
       bool GoesLeft = DataX.row(Pt)[GrowDim] <= GrowCut;
       absorbInto(T, GoesLeft ? L : Rr, Pt);
     }
+    bool NewLeft = X[GrowDim] <= GrowCut;
+    absorbInto(T, NewLeft ? L : Rr, PointIdx);
     Node &NewInternal = T.Nodes[size_t(LeafIdx)];
     NewInternal.Left = L;
     NewInternal.Right = Rr;
@@ -499,31 +604,45 @@ void DynaTree::ingest(uint32_t PointIdx, bool Resample) {
 
   // 1-2. Reweight by posterior predictive and resample (skipped during
   // batched seeding, and while the ensemble is still nearly empty — the
-  // weights would all be equal).
+  // weights would all be equal).  Every alias of a unique-particle run
+  // has the same weight by construction, so the leaf walk runs once per
+  // run and fans its value out; resampling then sums bit-identical
+  // weights in the same index order as the per-particle walk would.
   if (Resample && PointIdx >= 2) {
     std::vector<double> LogW(Np);
-    shardedFor(Workers, Np, ParticleShardSize,
+    shardedFor(Workers, uniqueRunCount(), ParticleShardSize,
                [&](size_t, size_t Begin, size_t End) {
-                 for (size_t I = Begin; I != End; ++I) {
-                   const Particle &P = Particles[I];
+                 for (size_t Run = Begin; Run != End; ++Run) {
+                   const Particle &P = Particles[RunOffsets[Run]];
                    int32_t Leaf = findLeaf(*P.T, X);
-                   LogW[I] = logPredictive(leafStats(P, Leaf), Y);
+                   double Lw = logPredictive(leafStats(P, Leaf), Y);
+                   for (size_t I = RunOffsets[Run]; I != RunOffsets[Run + 1];
+                        ++I)
+                     LogW[I] = Lw;
                  }
                });
     resampleParticles(LogW);
+    rebuildRunIndex(); // offspring of one parent alias contiguously
   }
 
   // 3-4. Propagate every particle with a local stay/prune/grow move, each
-  // from its own counter-derived RNG stream.
+  // from its own counter-derived RNG stream.  Consecutive particles of
+  // one run share their packed grow-scan scratch (the run index proves
+  // the reuse bit-safe); the thread_local only amortizes allocations —
+  // validity never crosses a shard boundary.
   uint64_t Step = StepCounter;
   shardedFor(Workers, Np, ParticleShardSize,
              [&](size_t, size_t Begin, size_t End) {
+               thread_local GrowScratch Scratch;
+               Scratch.Valid = false;
                for (size_t I = Begin; I != End; ++I) {
                  Rng R = particleRng(Step, I);
-                 propagate(Particles[I], PointIdx, R);
+                 bool Reuse = I != Begin && RunOf[I] == RunOf[I - 1];
+                 propagate(Particles[I], PointIdx, R, Scratch, Reuse);
                }
              });
   ++StepCounter;
+  rebuildRunIndex(); // movers split off; stayers keep aliasing
 }
 
 //===----------------------------------------------------------------------===//
@@ -568,6 +687,7 @@ void DynaTree::fit(const FlatRows &X, const std::vector<double> &Y) {
   Particles.assign(Config.NumParticles, Particle());
   for (Particle &P : Particles)
     P.T = Root;
+  rebuildRunIndex(); // one run: the whole ensemble aliases Root
 
   for (uint32_t I = 0; I != uint32_t(X.size()); ++I)
     ingest(I, /*Resample=*/false);
@@ -586,13 +706,32 @@ Prediction DynaTree::predict(RowRef X) const {
   assert(!Particles.empty() && "model not fitted");
   const double *Xp = X.data();
   // Mixture over particles; variance via the law of total variance.
+  // Every alias of a unique-particle run lands the probe in the same
+  // leaf with the same effective stats, so the dedup path walks each run
+  // once and repeats the accumulation per alias — the sums receive the
+  // very same addends in the very same index order as the naive walk,
+  // hence stay bit-identical.
   double MeanSum = 0.0, VarSum = 0.0, Mean2Sum = 0.0;
-  for (const Particle &P : Particles) {
-    int32_t Leaf = findLeaf(*P.T, Xp);
-    Prediction LeafP = leafPredictive(leafStats(P, Leaf));
-    MeanSum += LeafP.Mean;
-    VarSum += LeafP.Variance;
-    Mean2Sum += LeafP.Mean * LeafP.Mean;
+  if (DedupScoring) {
+    for (size_t Run = 0; Run + 1 < RunOffsets.size(); ++Run) {
+      const Particle &P = Particles[RunOffsets[Run]];
+      int32_t Leaf = findLeaf(*P.T, Xp);
+      Prediction LeafP = leafPredictive(leafStats(P, Leaf));
+      double Mean2 = LeafP.Mean * LeafP.Mean;
+      for (size_t I = RunOffsets[Run]; I != RunOffsets[Run + 1]; ++I) {
+        MeanSum += LeafP.Mean;
+        VarSum += LeafP.Variance;
+        Mean2Sum += Mean2;
+      }
+    }
+  } else {
+    for (const Particle &P : Particles) {
+      int32_t Leaf = findLeaf(*P.T, Xp);
+      Prediction LeafP = leafPredictive(leafStats(P, Leaf));
+      MeanSum += LeafP.Mean;
+      VarSum += LeafP.Variance;
+      Mean2Sum += LeafP.Mean * LeafP.Mean;
+    }
   }
   double Np = double(Particles.size());
   Prediction Out;
@@ -603,23 +742,45 @@ Prediction DynaTree::predict(RowRef X) const {
   return Out;
 }
 
+std::vector<double> DynaTree::almScores(const FlatRows &Candidates,
+                                        const ScoreContext &Ctx) const {
+  assert(!Particles.empty() && "model not fitted");
+  // Sharded predict() per candidate — predict() itself dedupes by unique
+  // run; this override only adds the instrumentation accounting.
+  std::vector<double> Scores = SurrogateModel::almScores(Candidates, Ctx);
+  if (Ctx.Stats) {
+    size_t Walked = DedupScoring ? uniqueRunCount() : Particles.size();
+    Ctx.Stats->CandidatesScored.fetch_add(Candidates.size(),
+                                          std::memory_order_relaxed);
+    Ctx.Stats->ParticleTerms.fetch_add(uint64_t(Candidates.size()) *
+                                           Particles.size(),
+                                       std::memory_order_relaxed);
+    Ctx.Stats->UniqueLeafWalks.fetch_add(uint64_t(Candidates.size()) * Walked,
+                                         std::memory_order_relaxed);
+  }
+  return Scores;
+}
+
 std::vector<double> DynaTree::alcScores(const FlatRows &Candidates,
                                         const FlatRows &Reference,
                                         const ScoreContext &Ctx) const {
   assert(!Particles.empty() && "model not fitted");
   // Each candidate's score is the particle average of refCount(leaf) *
   // expected variance drop — the closed form of Cohn's ALC under constant
-  // leaves.  The reference occupancy of every particle's leaves is
+  // leaves.  The reference occupancy of every tree's leaves is
   // candidate-independent, so it is computed once up front (one disjoint
-  // write per particle); candidates then accumulate over particles in
-  // index order, matching the sequential summation order bit-for-bit.
+  // write per unique run — aliases share the counts); candidates then
+  // accumulate over particles in index order, repeating each run's term
+  // per alias, which matches the naive sequential summation bit-for-bit.
   size_t Np = Particles.size();
-  std::vector<std::vector<uint32_t>> RefCounts(Np);
-  shardedFor(Ctx.Pool, Np, 8, [&](size_t, size_t Begin, size_t End) {
-    for (size_t P = Begin; P != End; ++P) {
-      RefCounts[P].assign(Particles[P].T->Nodes.size(), 0);
+  size_t NumGroups = DedupScoring ? uniqueRunCount() : Np;
+  std::vector<std::vector<uint32_t>> RefCounts(NumGroups);
+  shardedFor(Ctx.Pool, NumGroups, 8, [&](size_t, size_t Begin, size_t End) {
+    for (size_t G = Begin; G != End; ++G) {
+      const Particle &P = Particles[DedupScoring ? RunOffsets[G] : G];
+      RefCounts[G].assign(P.T->Nodes.size(), 0);
       for (size_t R = 0; R != Reference.size(); ++R)
-        ++RefCounts[P][size_t(findLeaf(*Particles[P].T, Reference.row(R)))];
+        ++RefCounts[G][size_t(findLeaf(*P.T, Reference.row(R)))];
     }
   });
 
@@ -629,22 +790,52 @@ std::vector<double> DynaTree::alcScores(const FlatRows &Candidates,
     for (size_t C = Begin; C != End; ++C) {
       const double *Row = Candidates.row(C);
       double Total = 0.0;
-      for (size_t P = 0; P != Np; ++P) {
-        int32_t Leaf = findLeaf(*Particles[P].T, Row);
-        uint32_t Count = RefCounts[P][size_t(Leaf)];
-        if (Count != 0)
-          Total += double(Count) *
-                   leafVarianceDrop(leafStats(Particles[P], Leaf));
+      if (DedupScoring) {
+        for (size_t G = 0; G != NumGroups; ++G) {
+          const Particle &P = Particles[RunOffsets[G]];
+          int32_t Leaf = findLeaf(*P.T, Row);
+          uint32_t Count = RefCounts[G][size_t(Leaf)];
+          if (Count == 0)
+            continue;
+          double Term = double(Count) * leafVarianceDrop(leafStats(P, Leaf));
+          for (size_t I = RunOffsets[G]; I != RunOffsets[G + 1]; ++I)
+            Total += Term;
+        }
+      } else {
+        for (size_t P = 0; P != Np; ++P) {
+          int32_t Leaf = findLeaf(*Particles[P].T, Row);
+          uint32_t Count = RefCounts[P][size_t(Leaf)];
+          if (Count != 0)
+            Total += double(Count) *
+                     leafVarianceDrop(leafStats(Particles[P], Leaf));
+        }
       }
       Scores[C] = Total / double(Np);
     }
   });
+  if (Ctx.Stats) {
+    // Both phases count: the per-candidate walks and the reference pass.
+    uint64_t NaiveWalks =
+        uint64_t(Np) * (Candidates.size() + Reference.size());
+    uint64_t DoneWalks =
+        uint64_t(NumGroups) * (Candidates.size() + Reference.size());
+    Ctx.Stats->CandidatesScored.fetch_add(Candidates.size(),
+                                          std::memory_order_relaxed);
+    Ctx.Stats->ParticleTerms.fetch_add(NaiveWalks, std::memory_order_relaxed);
+    Ctx.Stats->UniqueLeafWalks.fetch_add(DoneWalks,
+                                         std::memory_order_relaxed);
+  }
   return Scores;
 }
 
 double DynaTree::averageLeafCount() const {
+  // One full node-array walk per unique run instead of per particle
+  // (aliases share tree and pending, so their leaf census is equal);
+  // the per-alias repeat-add keeps the mean bit-identical to the naive
+  // per-particle walk.
   double Total = 0.0;
-  for (const Particle &P : Particles) {
+  for (size_t Run = 0; Run + 1 < RunOffsets.size(); ++Run) {
+    const Particle &P = Particles[RunOffsets[Run]];
     unsigned Leaves = 0;
     const std::vector<Node> &Nodes = P.T->Nodes;
     for (size_t I = 0; I != Nodes.size(); ++I) {
@@ -655,19 +846,21 @@ double DynaTree::averageLeafCount() const {
       if (EffCount > 0 || N.Parent >= 0 || Nodes.size() == 1)
         ++Leaves;
     }
-    Total += double(Leaves);
+    for (size_t I = RunOffsets[Run]; I != RunOffsets[Run + 1]; ++I)
+      Total += double(Leaves);
   }
   return Total / double(Particles.size());
 }
 
 double DynaTree::averageDepth() const {
   double Total = 0.0;
-  for (const Particle &P : Particles) {
+  for (size_t Run = 0; Run + 1 < RunOffsets.size(); ++Run) {
     unsigned MaxDepth = 0;
-    for (const Node &N : P.T->Nodes)
+    for (const Node &N : Particles[RunOffsets[Run]].T->Nodes)
       if (N.Left < 0)
         MaxDepth = std::max(MaxDepth, unsigned(N.Depth));
-    Total += double(MaxDepth);
+    for (size_t I = RunOffsets[Run]; I != RunOffsets[Run + 1]; ++I)
+      Total += double(MaxDepth);
   }
   return Total / double(Particles.size());
 }

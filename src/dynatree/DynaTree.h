@@ -50,6 +50,17 @@
 ///    onto the same pool even when the model already runs inside a
 ///    scheduler task (a campaign cell), so idle workers can steal them.
 ///
+///  * **Unique-run deduplicated scoring.**  Copy-on-write resampling
+///    leaves duplicate particles *contiguous*, sharing one tree pointer
+///    and identical pending lists, so their per-candidate leaf walks and
+///    posteriors are equal by construction.  A run index groups
+///    consecutive particles by (tree identity, pending fingerprint);
+///    reweighting, predict(), almScores(), and alcScores() evaluate each
+///    run once and accumulate the result per particle in original index
+///    order — bit-for-bit the sums the naive per-particle path produces,
+///    at a fraction of the walks.  The same index lets propagate() reuse
+///    its packed grow-scan gather across consecutive aliases.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALIC_DYNATREE_DYNATREE_H
@@ -103,6 +114,9 @@ public:
   void fit(const FlatRows &X, const std::vector<double> &Y) override;
   void update(RowRef X, double Y) override;
   Prediction predict(RowRef X) const override;
+  std::vector<double> almScores(const FlatRows &Candidates,
+                                const ScoreContext &Ctx = ScoreContext())
+      const override;
   std::vector<double> alcScores(const FlatRows &Candidates,
                                 const FlatRows &Reference,
                                 const ScoreContext &Ctx = ScoreContext())
@@ -110,10 +124,32 @@ public:
   size_t numObservations() const override { return DataY.size(); }
   void setScheduler(Scheduler *Pool) override { Workers = Pool; }
 
+  /// Disables (or re-enables) unique-run deduplicated scoring, forcing
+  /// the naive per-particle walk in predict/almScores/alcScores.  The
+  /// two paths are bit-identical by construction (gtest-pinned); the
+  /// toggle exists so benches and tests can measure/verify the naive
+  /// reference on the very same ensemble state.
+  void setScoringDedup(bool Enabled) { DedupScoring = Enabled; }
+
   /// Ensemble diagnostics (tests, benches).
   double averageLeafCount() const;
   double averageDepth() const;
   double effectiveSampleSize() const { return LastEss; }
+
+  /// Number of unique-particle runs: maximal groups of consecutive
+  /// particles sharing one tree and one pending list.  Scoring cost
+  /// scales with this, not with NumParticles.
+  size_t uniqueRunCount() const {
+    return RunOffsets.empty() ? 0 : RunOffsets.size() - 1;
+  }
+
+  /// Fraction of particles that alias an earlier particle of their run
+  /// (1 - uniqueRunCount() / NumParticles); the dedup win grows with it.
+  double duplicateFraction() const {
+    return Particles.empty()
+               ? 0.0
+               : 1.0 - double(uniqueRunCount()) / double(Particles.size());
+  }
 
 private:
   /// Point-index chunks per leaf are linked lists of fixed-size blocks in
@@ -218,8 +254,44 @@ private:
   /// Appends one node's (empty) bounding-box slot to \p T.
   void pushBoundsSlot(Tree &T) const;
 
+  /// Candidate-independent context of one propagate() call, cacheable
+  /// across the consecutive aliases of a unique-particle run (same tree,
+  /// same pending list => same leaf for the new point, same effective
+  /// stats, same bounds, same leaf rows).  The packed columns turn the
+  /// multi-try grow scan into unit-stride passes: leaf rows (pending
+  /// included, new point last, in forEachLeafPoint order) are gathered
+  /// once into one column per spread dimension plus Y and Y**2, instead
+  /// of chasing PtsChunk links and strided DataX gathers per try.  Only
+  /// the validity flag carries semantics; the vectors are reusable
+  /// buffers that live in thread-local storage to amortize allocation.
+  struct GrowScratch {
+    bool Valid = false;   ///< pack describes the current run
+    bool CanGrow = false; ///< leaf large enough for a grow proposal
+    int32_t LeafIdx = -1;
+    LeafStats Eff;
+    double LStay = 0.0;
+    std::vector<double> Lo, Hi;    ///< leaf bounds incl. pending + new point
+    std::vector<int> Spread;       ///< dimensions with Hi > Lo
+    std::vector<uint32_t> Pts;     ///< leaf rows in traversal order (no new pt)
+    std::vector<double> Cols;      ///< Spread.size() x NumPts, column-major
+    std::vector<uint8_t> ColDone;  ///< column J gathered yet? (lazy fill)
+    std::vector<double> Ys, Y2s;   ///< NumPts each (new point last)
+  };
+
   /// Applies one stay/prune/grow move for the new point \p PointIdx.
-  void propagate(Particle &P, uint32_t PointIdx, Rng &R);
+  /// \p ReuseScan says the caller knows \p P continues the unique run
+  /// \p Scratch was built for (the run index pins this); otherwise the
+  /// scratch is rebuilt.  Reuse changes no arithmetic — the cached pack
+  /// is bitwise the one this particle would gather itself.
+  void propagate(Particle &P, uint32_t PointIdx, Rng &R, GrowScratch &Scratch,
+                 bool ReuseScan);
+
+  /// Recomputes the unique-particle run index (RunOffsets / RunOf) by
+  /// grouping consecutive particles with one tree identity and one
+  /// pending fingerprint.  Called after every ensemble mutation phase
+  /// (seeding, resample, propagate) so scoring always sees a fresh
+  /// index; O(NumParticles) pointer + pending compares.
+  void rebuildRunIndex();
 
   /// SMC step for one point: optional reweight+resample, then parallel
   /// propagation.  \p Resample is false during batched seeding.
@@ -259,6 +331,12 @@ private:
   double LastEss = 0.0;
   uint64_t StepCounter = 0; ///< SMC steps performed (one per point)
   Scheduler *Workers = nullptr;
+  // Unique-particle run index: run R spans particles [RunOffsets[R],
+  // RunOffsets[R+1]); RunOf maps a particle index to its run.  Rebuilt
+  // by rebuildRunIndex() after every mutation phase.
+  std::vector<uint32_t> RunOffsets;
+  std::vector<uint32_t> RunOf;
+  bool DedupScoring = true; ///< see setScoringDedup()
 };
 
 } // namespace alic

@@ -22,6 +22,7 @@
 
 #include "support/FlatRows.h"
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -34,6 +35,32 @@ class Scheduler;
 struct Prediction {
   double Mean = 0.0;
   double Variance = 0.0;
+};
+
+/// Optional instrumentation sink for the scoring hot path.  Ensemble
+/// models that deduplicate work across identical members (DynaTree's
+/// unique-particle runs: post-resample aliases share one tree and one
+/// pending list, so their per-candidate contributions are equal) record
+/// here both the terms a naive per-member evaluation would accumulate
+/// and the leaf walks actually performed; their ratio is the dedup
+/// factor benches and tests report.  Counters are cumulative across
+/// calls and thread-safe (relaxed atomics — purely observational, so
+/// results never depend on them).
+struct ScoreStats {
+  /// Candidates scored (alm + alc calls).
+  std::atomic<uint64_t> CandidatesScored{0};
+  /// Per-(candidate, ensemble-member) terms accumulated into scores —
+  /// the work a naive per-member path performs.
+  std::atomic<uint64_t> ParticleTerms{0};
+  /// findLeaf + leaf-posterior evaluations actually executed.
+  std::atomic<uint64_t> UniqueLeafWalks{0};
+
+  /// Naive-terms / walks-performed ratio (1.0 when nothing was saved).
+  double dedupFactor() const {
+    uint64_t Walks = UniqueLeafWalks.load(std::memory_order_relaxed);
+    uint64_t Terms = ParticleTerms.load(std::memory_order_relaxed);
+    return Walks == 0 ? 1.0 : double(Terms) / double(Walks);
+  }
 };
 
 /// Execution context for batched candidate scoring.  The active learner
@@ -56,6 +83,10 @@ struct ScoreContext {
   /// Candidates per shard.  Fixed by the caller, not derived from the
   /// thread count, so the shard grid is reproducible everywhere.
   size_t ShardSize = 32;
+
+  /// Optional counter sink for score-path instrumentation (dedup
+  /// factors); null means don't count.  Never affects results.
+  ScoreStats *Stats = nullptr;
 
   /// Pre-derived RNG seed of shard \p Shard: a pure function of (Seed,
   /// Shard), so scheduling order can never leak into results.

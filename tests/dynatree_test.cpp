@@ -345,6 +345,132 @@ TEST(DynaTreeTest, ThreadedLearningMatchesSerialUnderResampling) {
     }
 }
 
+TEST(DynaTreeTest, DedupScoringBitIdenticalToNaiveReference) {
+  // The unique-run contract: predict/almScores/alcScores walk each
+  // (tree, pending) run once and repeat the accumulation per alias, so
+  // they must be *bit-identical* to the naive per-particle reference —
+  // serially, across worker counts, and under varied steal seeds.
+  Scenario S(260);
+  DynaTreeConfig C = smallConfig(250, 13);
+  DynaTree M(C);
+  S.drive(M);
+  ASSERT_GT(M.duplicateFraction(), 0.0) << "scenario never aliased a tree";
+
+  FlatRows Cands;
+  Rng R(23);
+  for (int I = 0; I != 40; ++I)
+    Cands.push({R.nextUniform(-1, 1), R.nextUniform(-1, 1)});
+  FlatRows Ref(S.X.begin(), S.X.begin() + 60);
+
+  // Naive reference on the very same ensemble state.
+  M.setScoringDedup(false);
+  Prediction WantP = M.predict({0.3, -0.4});
+  std::vector<double> WantAlm = M.almScores(Cands);
+  std::vector<double> WantAlc = M.alcScores(Cands, Ref);
+  M.setScoringDedup(true);
+
+  Prediction GotP = M.predict({0.3, -0.4});
+  EXPECT_EQ(WantP.Mean, GotP.Mean);
+  EXPECT_EQ(WantP.Variance, GotP.Variance);
+  EXPECT_EQ(WantAlm, M.almScores(Cands));
+  EXPECT_EQ(WantAlc, M.alcScores(Cands, Ref));
+
+  for (uint64_t StealSeed : {0x57ea1ull, 0xfeedull}) {
+    for (unsigned Threads : {1u, 8u}) {
+      Scheduler::Options O;
+      O.Threads = Threads;
+      O.StealSeed = StealSeed;
+      Scheduler Pool(O);
+      ScoreContext Ctx;
+      Ctx.Pool = &Pool;
+      EXPECT_EQ(WantAlm, M.almScores(Cands, Ctx))
+          << Threads << " threads, steal seed " << StealSeed;
+      EXPECT_EQ(WantAlc, M.alcScores(Cands, Ref, Ctx))
+          << Threads << " threads, steal seed " << StealSeed;
+    }
+  }
+}
+
+TEST(DynaTreeTest, DedupBitIdenticalWhenModelTrainedUnderPool) {
+  // Same contract with the *training* sharded too: a pooled model's run
+  // index must describe the same ensemble the serial model built.
+  Scenario S(260);
+  DynaTreeConfig C = smallConfig(250, 13);
+  DynaTree Serial(C), Pooled(C);
+  S.drive(Serial);
+  Scheduler Pool(4);
+  Pooled.setScheduler(&Pool);
+  S.drive(Pooled);
+  EXPECT_EQ(Serial.uniqueRunCount(), Pooled.uniqueRunCount());
+  EXPECT_EQ(Serial.duplicateFraction(), Pooled.duplicateFraction());
+  Serial.setScoringDedup(false); // naive reference vs pooled dedup path
+  FlatRows Cands = {{0.3, -0.4}, {-0.6, 0.2}, {0.9, 0.9}};
+  FlatRows Ref(S.X.begin(), S.X.begin() + 50);
+  ScoreContext Ctx;
+  Ctx.Pool = &Pool;
+  EXPECT_EQ(Serial.almScores(Cands), Pooled.almScores(Cands, Ctx));
+  EXPECT_EQ(Serial.alcScores(Cands, Ref), Pooled.alcScores(Cands, Ref, Ctx));
+}
+
+TEST(DynaTreeTest, RunIndexCountersSane) {
+  // A seed batch too small to grow (needs 2*MinLeafSize effective points)
+  // or overflow the pending list keeps every particle aliasing the one
+  // root tree: exactly one unique run.
+  DynaTree M(smallConfig(300, 5));
+  M.fit({{0.0}, {0.2}, {0.4}, {0.6}}, {1.0, 1.1, 0.9, 1.0});
+  EXPECT_EQ(M.uniqueRunCount(), 1u);
+  EXPECT_NEAR(M.duplicateFraction(), 1.0 - 1.0 / 300.0, 1e-12);
+
+  // Drive real updates: runs multiply as particles diverge, but stay
+  // bounded by the ensemble size, and the fraction stays in [0, 1].
+  Rng R(31);
+  for (int I = 0; I != 80; ++I) {
+    double V = R.nextUniform(-1, 1);
+    M.update({V}, stepFn(V) + 0.05 * R.nextGaussian());
+  }
+  EXPECT_GE(M.uniqueRunCount(), 1u);
+  EXPECT_LE(M.uniqueRunCount(), 300u);
+  EXPECT_GE(M.duplicateFraction(), 0.0);
+  EXPECT_LE(M.duplicateFraction(), 1.0);
+
+  // The instrumentation must account walks exactly: naive terms are
+  // candidates * particles; the dedup path walks candidates * runs.
+  ScoreStats Stats;
+  ScoreContext Ctx;
+  Ctx.Stats = &Stats;
+  FlatRows Cands = {{-0.5}, {0.1}, {0.7}};
+  M.almScores(Cands, Ctx);
+  EXPECT_EQ(Stats.CandidatesScored.load(), 3u);
+  EXPECT_EQ(Stats.ParticleTerms.load(), 3u * 300u);
+  EXPECT_EQ(Stats.UniqueLeafWalks.load(), 3u * M.uniqueRunCount());
+  EXPECT_GE(Stats.dedupFactor(), 1.0);
+
+  FlatRows Ref = {{-0.8}, {-0.2}, {0.4}, {0.9}};
+  M.alcScores(Cands, Ref, Ctx);
+  EXPECT_EQ(Stats.CandidatesScored.load(), 6u);
+  EXPECT_EQ(Stats.ParticleTerms.load(), 3u * 300u + (3u + 4u) * 300u);
+  EXPECT_EQ(Stats.UniqueLeafWalks.load(),
+            (3u + 3u + 4u) * M.uniqueRunCount());
+}
+
+TEST(DynaTreeTest, PostResampleRunsAreContiguousAliases) {
+  // After a resampling update, the duplicate fraction the run index
+  // reports must match what systematic resampling implies: N particles
+  // in at most N runs, and a concentrated posterior (an outlier
+  // observation) collapses many particles onto few survivors.
+  Scenario S(150);
+  DynaTreeConfig C = smallConfig(400, 19);
+  DynaTree M(C);
+  S.drive(M);
+  double Before = M.duplicateFraction();
+  // A string of far-outlier updates concentrates the weights.
+  for (int I = 0; I != 4; ++I)
+    M.update({0.95, 0.95}, 60.0 + double(I));
+  EXPECT_GT(M.duplicateFraction(), Before);
+  EXPECT_LE(M.uniqueRunCount(),
+            size_t(double(C.NumParticles) * (1.0 - M.duplicateFraction())) + 1);
+}
+
 TEST(DynaTreeTest, TreesGrowWithStructuredData) {
   DynaTree M(smallConfig(150));
   std::vector<std::vector<double>> X;

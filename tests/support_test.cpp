@@ -6,8 +6,8 @@
 #include "support/Format.h"
 #include "support/Rng.h"
 #include "support/Serialize.h"
+#include "support/Scheduler.h"
 #include "support/Table.h"
-#include "support/ThreadPool.h" // compat shim: ThreadPool = Scheduler
 
 #include <gtest/gtest.h>
 
@@ -16,7 +16,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <set>
-#include <type_traits>
 
 using namespace alic;
 
@@ -316,12 +315,6 @@ TEST(EnvTest, ScalePresetNames) {
 // Scheduler (basic pool behavior; nesting and stealing live in
 // scheduler_test.cpp)
 //===----------------------------------------------------------------------===//
-
-TEST(SchedulerTest, ThreadPoolAliasIsTheScheduler) {
-  // The compat shim keeps the old name alive for out-of-tree users.
-  static_assert(std::is_same_v<ThreadPool, Scheduler>,
-                "support/ThreadPool.h must alias the Scheduler");
-}
 
 TEST(SchedulerTest, RunsAllTasks) {
   Scheduler Pool(4);

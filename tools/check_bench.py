@@ -40,7 +40,7 @@ import sys
 # growing the cross-product can never silently pair unrelated metrics —
 # a shape mismatch surfaces as "missing from fresh output".
 ID_KEYS = ("benchmark", "model", "scorer", "batch", "plan", "particles",
-           "threads")
+           "state", "threads")
 
 COST_TOKENS = ("cost", "seconds", "rmse", "time")
 THROUGHPUT_TOKENS = ("per_second", "speedup")
@@ -55,6 +55,13 @@ WALLCLOCK_TOKENS = (
     # hardware-dependent: ~0.93 on a 1-core box, >1 on real multicore).
     "tail_speedup",
     "fanout_rate",
+    # bench_dynatree_hotpath: wall-clock scoring rates and their dedup
+    # ratios; the file itself is still presence-gated (a committed
+    # baseline with a missing fresh file fails the run), and its
+    # deterministic columns (duplicate_fraction, unique_runs) stay
+    # comparable in the artifacts.
+    "scores_per_second",
+    "dedup_speedup",
 )
 SKIP_PATH_TOKENS = ("curve",)
 
