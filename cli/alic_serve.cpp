@@ -1,0 +1,224 @@
+//===- cli/alic_serve.cpp - Session-multiplexed tuning daemon -*- C++ -*-===//
+//
+// Part of the ALIC project: a reproduction of "Minimizing the Cost of
+// Iterative Compilation with Active Learning" (Ogilvie et al., CGO 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// A long-running daemon serving many concurrent tuning sessions over a
+// newline-delimited JSON protocol on a Unix-domain socket (see
+// docs/SERVE_PROTOCOL.md).  Typical use:
+//
+//   ALIC_SCALE=smoke alic_serve --socket=/tmp/alic.sock --state-dir=serve &
+//   # wait for the READY line, then exchange one JSON object per line
+//
+// Sessions checkpoint to --state-dir on every observation; on restart the
+// daemon replays every snapshot and resumes each session exactly where it
+// stood (SIGKILL-safe — serve_test and tools/serve_smoke.py pin this).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ServeEngine.h"
+#include "serve/Wire.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace alic;
+
+namespace {
+
+[[noreturn]] void usage(const char *Binary, const char *Complaint) {
+  if (Complaint)
+    std::fprintf(stderr, "error: %s\n\n", Complaint);
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "Suggest/observe tuning service over a Unix-domain socket.\n"
+      "Scale comes from ALIC_SCALE (smoke|bench|paper; default bench).\n\n"
+      "  --socket=PATH         socket to listen on (default: alic-serve.sock)\n"
+      "  --state-dir=DIR       session snapshot directory; empty disables\n"
+      "                        checkpointing (default: alic-serve-state)\n"
+      "  --threads=N|auto      scheduler workers shared by all sessions\n"
+      "                        (auto = hardware concurrency; default 0 =\n"
+      "                        inline, bit-identical either way)\n"
+      "  --checkpoint-every=K  snapshot every K-th observe (default 1)\n",
+      Binary);
+  std::exit(2);
+}
+
+bool parseFlag(const char *Arg, const char *Name, std::string &Value) {
+  size_t Len = std::strlen(Name);
+  if (std::strncmp(Arg, Name, Len) != 0 || Arg[Len] != '=')
+    return false;
+  Value = Arg + Len + 1;
+  return true;
+}
+
+/// One connected client: a socket plus its partial-line input buffer.
+struct Client {
+  int Fd = -1;
+  std::string Pending;
+};
+
+bool sendAll(int Fd, const std::string &Data) {
+  size_t Sent = 0;
+  while (Sent < Data.size()) {
+    ssize_t N = ::send(Fd, Data.data() + Sent, Data.size() - Sent,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (N <= 0)
+      return false;
+    Sent += size_t(N);
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string SocketPath = "alic-serve.sock";
+  std::string StateDir = "alic-serve-state";
+  std::string Threads = "0";
+  std::string CheckpointEvery = "1";
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (parseFlag(Arg, "--socket", SocketPath) ||
+        parseFlag(Arg, "--state-dir", StateDir) ||
+        parseFlag(Arg, "--threads", Threads) ||
+        parseFlag(Arg, "--checkpoint-every", CheckpointEvery))
+      continue;
+    usage(Argv[0], (std::string("unknown argument ") + Arg).c_str());
+  }
+
+  ServeOptions Opts;
+  Opts.StateDir = StateDir;
+  if (!StateDir.empty())
+    Opts.DatasetCacheDir = StateDir + "/datasets";
+  Opts.Threads = Threads == "auto"
+                     ? std::max(1u, std::thread::hardware_concurrency())
+                     : unsigned(std::strtoul(Threads.c_str(), nullptr, 10));
+  Opts.CheckpointEveryObserves =
+      unsigned(std::strtoul(CheckpointEvery.c_str(), nullptr, 10));
+
+  ServeEngine Engine(Opts);
+  size_t Skipped = 0;
+  size_t Restored = Engine.restoreSessions(&Skipped);
+  if (Restored || Skipped)
+    std::fprintf(stderr, "alic_serve: restored %zu session(s), skipped %zu\n",
+                 Restored, Skipped);
+
+  // Bind the listening socket.  A stale path from a killed daemon is
+  // unlinked first — session state lives in --state-dir, not the socket.
+  ::signal(SIGPIPE, SIG_IGN);
+  int Listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Listener < 0) {
+    std::perror("alic_serve: socket");
+    return 1;
+  }
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "alic_serve: socket path too long: %s\n",
+                 SocketPath.c_str());
+    return 1;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  ::unlink(SocketPath.c_str());
+  if (::bind(Listener, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+          0 ||
+      ::listen(Listener, 64) < 0) {
+    std::perror("alic_serve: bind/listen");
+    return 1;
+  }
+
+  // The line scripts wait for before connecting.
+  std::printf("READY %s\n", SocketPath.c_str());
+  std::fflush(stdout);
+
+  std::vector<Client> Clients;
+  bool Shutdown = false;
+  while (!Shutdown) {
+    std::vector<pollfd> Fds;
+    Fds.push_back({Listener, POLLIN, 0});
+    for (const Client &C : Clients)
+      Fds.push_back({C.Fd, POLLIN, 0});
+    if (::poll(Fds.data(), nfds_t(Fds.size()), -1) < 0) {
+      if (errno == EINTR)
+        continue;
+      std::perror("alic_serve: poll");
+      break;
+    }
+
+    if (Fds[0].revents & POLLIN) {
+      int Fd = ::accept(Listener, nullptr, nullptr);
+      if (Fd >= 0)
+        Clients.push_back({Fd, {}});
+    }
+
+    for (size_t I = 0; I != Clients.size();) {
+      pollfd &P = Fds[I + 1];
+      Client &C = Clients[I];
+      bool Drop = false;
+      if (P.revents & (POLLIN | POLLHUP | POLLERR)) {
+        char Buffer[1 << 16];
+        ssize_t N = ::recv(C.Fd, Buffer, sizeof(Buffer), 0);
+        if (N <= 0) {
+          Drop = true;
+        } else {
+          C.Pending.append(Buffer, size_t(N));
+          size_t Pos = 0, Eol;
+          while (!Drop && (Eol = C.Pending.find('\n', Pos)) !=
+                              std::string::npos) {
+            std::string Line = C.Pending.substr(Pos, Eol - Pos);
+            Pos = Eol + 1;
+            if (Line.empty())
+              continue;
+            std::string Reply;
+            Shutdown |= handleRequestLine(Engine, Line, Reply);
+            Reply += "\n";
+            if (!sendAll(C.Fd, Reply))
+              Drop = true;
+          }
+          C.Pending.erase(0, Pos);
+          // An unbounded line with no newline is a protocol violation.
+          if (C.Pending.size() > (1u << 22))
+            Drop = true;
+        }
+      }
+      if (Drop) {
+        // Keep Fds[I+1] <-> Clients[I] aligned across the removal.
+        ::close(C.Fd);
+        Clients[I] = std::move(Clients.back());
+        Clients.pop_back();
+        Fds[I + 1] = Fds.back();
+        Fds.pop_back();
+      } else {
+        ++I;
+      }
+    }
+  }
+
+  for (const Client &C : Clients)
+    ::close(C.Fd);
+  ::close(Listener);
+  ::unlink(SocketPath.c_str());
+  return 0;
+}

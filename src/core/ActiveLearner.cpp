@@ -33,8 +33,8 @@ const char *SamplingPlan::name() const {
 namespace {
 
 /// How labelling one pick moves the learner's candidate bookkeeping.
-/// Shared by the batch pre-simulation and the execution loop in
-/// step(Batch) so the two can never drift apart.
+/// Shared by the batch pre-simulation in suggest() and the absorption
+/// loop in observe() so the two can never drift apart.
 struct PickOutcome {
   bool TakesUnseen;       ///< the pick leaves the unseen pool
   bool JoinsRevisitable;  ///< a fresh pick still short of the cap
@@ -73,30 +73,6 @@ std::vector<double> ActiveLearner::featuresOf(const Config &C) const {
   return Norm.transform(Oracle.space().features(C));
 }
 
-void ActiveLearner::seed() {
-  // Label ninit random examples with a full set of observations each, so
-  // the learner starts from a quick but accurate look at the space
-  // (Section 3.1: "good quality data" for the seed).
-  FlatRows X;
-  std::vector<double> Y;
-  unsigned NumSeed = std::min<unsigned>(Cfg.NumInitial,
-                                        unsigned(Unseen.size()));
-  for (unsigned I = 0; I != NumSeed; ++I) {
-    size_t Slot = size_t(Generator.nextBounded(Unseen.size()));
-    uint32_t PoolIdx = Unseen[Slot];
-    Unseen[Slot] = Unseen.back();
-    Unseen.pop_back();
-    const Config &C = Pool[PoolIdx];
-    std::vector<double> Obs = Prof.measure(C, Cfg.InitObservations);
-    Stats.Observations += Obs.size();
-    ++Stats.DistinctExamples;
-    X.push(featuresOf(C));
-    Y.push_back(arithmeticMean(Obs));
-  }
-  Model.fit(X, Y);
-  Seeded = true;
-}
-
 bool ActiveLearner::done() const {
   if (!Seeded)
     return false;
@@ -105,15 +81,41 @@ bool ActiveLearner::done() const {
   return Unseen.empty() && Revisitable.empty();
 }
 
-bool ActiveLearner::step() { return step(std::max(1u, Cfg.BatchSize)); }
-
-bool ActiveLearner::step(unsigned Batch) {
-  if (!Seeded) {
-    seed();
-    return true;
+const Suggestion &ActiveLearner::suggestSeed() {
+  // Select ninit random examples for a full set of observations each, so
+  // the learner starts from a quick but accurate look at the space
+  // (Section 3.1: "good quality data" for the seed).  The draws mutate
+  // Unseen immediately — later bounded draws depend on its size — so the
+  // selection is committed even though the costs have not arrived yet.
+  PendingIdx.clear();
+  PendingRevisit.clear();
+  unsigned NumSeed =
+      std::min<unsigned>(Cfg.NumInitial, unsigned(Unseen.size()));
+  for (unsigned I = 0; I != NumSeed; ++I) {
+    size_t Slot = size_t(Generator.nextBounded(Unseen.size()));
+    uint32_t PoolIdx = Unseen[Slot];
+    Unseen[Slot] = Unseen.back();
+    Unseen.pop_back();
+    PendingIdx.push_back(PoolIdx);
   }
+  Outstanding.Phase = SuggestPhase::Explore;
+  Outstanding.ObservationsPerConfig = Cfg.InitObservations;
+  Outstanding.Configs.reserve(PendingIdx.size());
+  for (uint32_t PoolIdx : PendingIdx)
+    Outstanding.Configs.push_back(Pool[PoolIdx]);
+  Outstanding.Ticket = NextTicket++;
+  HasOutstanding = true;
+  return Outstanding;
+}
+
+const Suggestion &ActiveLearner::suggest(unsigned Batch) {
+  if (HasOutstanding)
+    return Outstanding;
+  Outstanding = Suggestion();
+  if (!Seeded)
+    return suggestSeed();
   if (done())
-    return false;
+    return Outstanding; // Phase == Done, ticket 0
   Batch = std::max(1u, Batch);
 
   // --- Assemble the candidate set (Alg. 1 lines 7-11) -------------------
@@ -123,8 +125,7 @@ bool ActiveLearner::step(unsigned Batch) {
     bool Revisit;
   };
   std::vector<Candidate> Candidates;
-  unsigned Nc = std::min<size_t>(Cfg.CandidatesPerIteration,
-                                 Unseen.size());
+  unsigned Nc = std::min<size_t>(Cfg.CandidatesPerIteration, Unseen.size());
   std::vector<size_t> Fresh = Generator.sampleIndices(Unseen.size(), Nc);
   Candidates.reserve(Fresh.size() + Revisitable.size());
   for (size_t Slot : Fresh)
@@ -133,7 +134,7 @@ bool ActiveLearner::step(unsigned Batch) {
   for (uint32_t PoolIdx : Revisitable)
     Candidates.push_back({PoolIdx, true});
   if (Candidates.empty())
-    return false;
+    return Outstanding; // unreachable given !done(), kept as a safeguard
 
   // --- Score the candidates (Alg. 1 lines 12-20) ------------------------
   // The scoring context derives its seed from the loop position alone, so
@@ -145,9 +146,8 @@ bool ActiveLearner::step(unsigned Batch) {
 
   std::vector<size_t> Chosen;
   if (Cfg.Scorer == ScorerKind::Random) {
-    std::vector<size_t> Order =
-        Generator.sampleIndices(Candidates.size(),
-                                std::min<size_t>(Batch, Candidates.size()));
+    std::vector<size_t> Order = Generator.sampleIndices(
+        Candidates.size(), std::min<size_t>(Batch, Candidates.size()));
     Chosen = Order;
   } else {
     // Candidate and reference features go straight into contiguous
@@ -162,8 +162,7 @@ bool ActiveLearner::step(unsigned Batch) {
       Scores = Model.almScores(CandFeatures, Ctx);
     } else {
       // Reference sample over which the average variance is minimized.
-      unsigned NumRef = std::min<size_t>(Cfg.ReferenceSetSize,
-                                         Pool.size());
+      unsigned NumRef = std::min<size_t>(Cfg.ReferenceSetSize, Pool.size());
       FlatRows Ref;
       Ref.reserveRows(NumRef);
       for (size_t Slot : Generator.sampleIndices(Pool.size(), NumRef))
@@ -177,8 +176,7 @@ bool ActiveLearner::step(unsigned Batch) {
     for (size_t I = 0; I != Order.size(); ++I)
       Order[I] = I;
     std::partial_sort(Order.begin(),
-                      Order.begin() +
-                          std::min<size_t>(Batch, Order.size()),
+                      Order.begin() + std::min<size_t>(Batch, Order.size()),
                       Order.end(), [&Scores](size_t A, size_t B) {
                         return Scores[A] > Scores[B];
                       });
@@ -186,10 +184,9 @@ bool ActiveLearner::step(unsigned Batch) {
     Chosen = Order;
   }
 
-  // --- Label the chosen example(s) and update the model -----------------
   // The completion criterion can trip mid-batch; simulate the bookkeeping
   // up front so only the picks that will actually be absorbed are
-  // measured (and charged to the ledger).
+  // suggested (and measured, and charged to the caller's ledger).
   {
     size_t Executable = 0;
     size_t Iter = Stats.Iterations;
@@ -212,48 +209,79 @@ bool ActiveLearner::step(unsigned Batch) {
     }
     Chosen.resize(Executable);
   }
+  if (Chosen.empty())
+    return Outstanding; // unreachable given !done(), kept as a safeguard
 
-  // Sequential plans draw one observation per pick; the draws are
-  // counter-based, so the whole batch can be measured up front — sharded
-  // across the pool — with values bit-identical to one-at-a-time
-  // measurement.
-  std::vector<double> BatchObs;
-  if (Plan.PlanKind == SamplingPlan::Kind::Sequential) {
-    std::vector<Config> Picked;
-    Picked.reserve(Chosen.size());
-    for (size_t Pick : Chosen)
-      Picked.push_back(Pool[Candidates[Pick].PoolIdx]);
-    BatchObs = Prof.measureBatch(Picked, Workers);
+  PendingIdx.clear();
+  PendingRevisit.clear();
+  Outstanding.Phase = SuggestPhase::Refine;
+  Outstanding.ObservationsPerConfig =
+      Plan.PlanKind == SamplingPlan::Kind::Fixed ? Plan.FixedObservations : 1;
+  Outstanding.Configs.reserve(Chosen.size());
+  for (size_t Pick : Chosen) {
+    const Candidate &C = Candidates[Pick];
+    PendingIdx.push_back(C.PoolIdx);
+    PendingRevisit.push_back(C.Revisit);
+    Outstanding.Configs.push_back(Pool[C.PoolIdx]);
+  }
+  Outstanding.Ticket = NextTicket++;
+  HasOutstanding = true;
+  return Outstanding;
+}
+
+bool ActiveLearner::observe(uint64_t Ticket,
+                            const std::vector<double> &Costs) {
+  if (!HasOutstanding || Ticket != Outstanding.Ticket)
+    return false;
+  size_t PerConfig = Outstanding.ObservationsPerConfig;
+  if (Costs.size() != Outstanding.Configs.size() * PerConfig)
+    return false;
+
+  if (Outstanding.Phase == SuggestPhase::Explore) {
+    FlatRows X;
+    std::vector<double> Y;
+    for (size_t I = 0; I != PendingIdx.size(); ++I) {
+      const Config &C = Pool[PendingIdx[I]];
+      Stats.Observations += PerConfig;
+      ++Stats.DistinctExamples;
+      X.push(featuresOf(C));
+      Y.push_back(arithmeticMean(Costs.data() + I * PerConfig, PerConfig));
+    }
+    Model.fit(X, Y);
+    Seeded = true;
+    HasOutstanding = false;
+    return true;
   }
 
-  for (size_t Slot = 0; Slot != Chosen.size(); ++Slot) {
-    const Candidate &C = Candidates[Chosen[Slot]];
-    const Config &Conf = Pool[C.PoolIdx];
+  // --- Absorb the labelled example(s) and update the model --------------
+  for (size_t Slot = 0; Slot != PendingIdx.size(); ++Slot) {
+    uint32_t PoolIdx = PendingIdx[Slot];
+    bool Revisit = PendingRevisit[Slot] != 0;
+    const Config &Conf = Pool[PoolIdx];
     PickOutcome O = [&] {
-      auto It = ObsCount.find(C.PoolIdx);
-      return pickOutcome(Plan, C.Revisit,
+      auto It = ObsCount.find(PoolIdx);
+      return pickOutcome(Plan, Revisit,
                          It == ObsCount.end() ? 0 : It->second);
     }();
 
     if (Plan.PlanKind == SamplingPlan::Kind::Fixed) {
-      std::vector<double> Obs = Prof.measure(Conf, Plan.FixedObservations);
-      Stats.Observations += Obs.size();
+      double Y = arithmeticMean(Costs.data() + Slot * PerConfig, PerConfig);
+      Stats.Observations += PerConfig;
       ++Stats.DistinctExamples;
-      Model.update(featuresOf(Conf), arithmeticMean(Obs));
+      Model.update(featuresOf(Conf), Y);
     } else {
-      double Y = BatchObs[Slot];
+      double Y = Costs[Slot];
       ++Stats.Observations;
       Model.update(featuresOf(Conf), Y);
-      ++ObsCount[C.PoolIdx];
-      if (C.Revisit)
+      ++ObsCount[PoolIdx];
+      if (Revisit)
         ++Stats.Revisits;
       else
         ++Stats.DistinctExamples;
       if (O.JoinsRevisitable)
-        Revisitable.push_back(C.PoolIdx);
+        Revisitable.push_back(PoolIdx);
       if (O.LeavesRevisitable) {
-        auto It = std::find(Revisitable.begin(), Revisitable.end(),
-                            C.PoolIdx);
+        auto It = std::find(Revisitable.begin(), Revisitable.end(), PoolIdx);
         if (It != Revisitable.end()) {
           *It = Revisitable.back();
           Revisitable.pop_back();
@@ -263,12 +291,43 @@ bool ActiveLearner::step(unsigned Batch) {
 
     if (O.TakesUnseen) {
       // Remove the configuration from the unseen pool.
-      auto It = std::find(Unseen.begin(), Unseen.end(), C.PoolIdx);
+      auto It = std::find(Unseen.begin(), Unseen.end(), PoolIdx);
       assert(It != Unseen.end() && "fresh candidate missing from pool");
       *It = Unseen.back();
       Unseen.pop_back();
     }
     ++Stats.Iterations;
   }
+  HasOutstanding = false;
+  return true;
+}
+
+bool ActiveLearner::step() { return step(std::max(1u, Cfg.BatchSize)); }
+
+bool ActiveLearner::step(unsigned Batch) {
+  const Suggestion &S = suggest(Batch);
+  if (S.Phase == SuggestPhase::Done)
+    return false;
+
+  // Measure through the virtual profiler.  Its draws are counter-based
+  // per configuration, so measuring the whole suggestion here — after
+  // all of suggest()'s selection draws — yields values bit-identical to
+  // the historical interleaved select/measure loop.
+  std::vector<double> Costs;
+  if (S.Phase == SuggestPhase::Refine &&
+      Plan.PlanKind == SamplingPlan::Kind::Sequential) {
+    // One observation per pick; sharded across the scheduler.
+    Costs = Prof.measureBatch(S.Configs, Workers);
+  } else {
+    Costs.reserve(S.Configs.size() * S.ObservationsPerConfig);
+    for (const Config &C : S.Configs) {
+      std::vector<double> Obs = Prof.measure(C, S.ObservationsPerConfig);
+      Costs.insert(Costs.end(), Obs.begin(), Obs.end());
+    }
+  }
+
+  bool Absorbed = observe(S.Ticket, Costs);
+  assert(Absorbed && "batch step failed to absorb its own measurements");
+  (void)Absorbed;
   return true;
 }

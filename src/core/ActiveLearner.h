@@ -23,6 +23,20 @@
 /// across the space), with MacKay's ALM and uniform-random selection as
 /// ablations.
 ///
+/// The loop runs in one of two shapes.  The batch shape, step(), selects,
+/// measures, and absorbs in one call — what `alic_run` and the campaigns
+/// use.  The request/response shape splits the same iteration at the
+/// measurement boundary: suggest() picks the next configuration(s) and
+/// hands back a ticket; the caller measures however it likes; and
+/// observe() folds the costs in.  step() is implemented *on* the split
+/// (suggest → Profiler → observe), and because every pseudo-random draw
+/// the learner makes happens inside suggest() while the virtual
+/// profiler's draws are counter-based, the two shapes are bit-identical —
+/// a learner driven over a wire by `alic_serve` retraces exactly the
+/// state a local batch loop would.  This is also what makes sessions
+/// replayable: state is a pure function of (config, seed, the sequence
+/// of observed cost vectors), which is all a serve checkpoint stores.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALIC_CORE_ACTIVELEARNER_H
@@ -43,11 +57,13 @@ class Scheduler;
 
 /// How many observations each selected training example receives.
 struct SamplingPlan {
+  /// The two plan families compared by the paper.
   enum class Kind {
     Fixed,      ///< k observations per example, no revisits (baselines)
     Sequential, ///< 1 observation at a time, revisits allowed (ours)
   };
 
+  /// Which family this plan belongs to.
   Kind PlanKind = Kind::Sequential;
 
   /// Fixed plans: observations per example.  The paper's baseline uses
@@ -58,10 +74,12 @@ struct SamplingPlan {
   /// 35, matching the baseline's budget).
   unsigned MaxObservationsPerExample = 35;
 
-  /// Convenience constructors.
+  /// A fixed plan taking \p Observations measurements per example.
   static SamplingPlan fixed(unsigned Observations);
+  /// A sequential plan capped at \p Cap measurements per example.
   static SamplingPlan sequential(unsigned Cap = 35);
 
+  /// Human-readable plan name, matching the paper's figure legends.
   const char *name() const;
 };
 
@@ -74,14 +92,14 @@ enum class ScorerKind {
 
 /// Parameters of the learning loop (paper values in Section 4.4).
 struct ActiveLearnerConfig {
-  unsigned NumInitial = 5;              ///< ninit
+  unsigned NumInitial = 5;              ///< ninit seed examples
   unsigned InitObservations = 35;       ///< nobs for the seed examples
   unsigned MaxTrainingExamples = 2500;  ///< nmax (completion criterion)
-  unsigned CandidatesPerIteration = 500; ///< nc
-  unsigned ReferenceSetSize = 100;      ///< ALC reference sample
-  ScorerKind Scorer = ScorerKind::Alc;
+  unsigned CandidatesPerIteration = 500; ///< nc fresh candidates per step
+  unsigned ReferenceSetSize = 100;      ///< ALC reference sample size
+  ScorerKind Scorer = ScorerKind::Alc;  ///< candidate-scoring criterion
   unsigned BatchSize = 1;               ///< examples labelled per iteration
-  uint64_t Seed = 1;
+  uint64_t Seed = 1;                    ///< root of every random stream
 };
 
 /// Progress counters.
@@ -92,17 +110,64 @@ struct LearnerStats {
   size_t Observations = 0;     ///< total profiler runs (incl. seeding)
 };
 
+/// Where a Suggestion sits in the session lifecycle.
+enum class SuggestPhase {
+  Explore, ///< pre-fit seeding: measure ninit configs, no model involved
+  Refine,  ///< model-guided selection (the steady state of Alg. 1)
+  Done,    ///< completion criterion met; nothing to measure
+};
+
+/// One request-sized unit of work handed to the measurement side: the
+/// configuration(s) the learner wants costs for, and the ticket that the
+/// matching observe() call must quote.  Returned by reference from
+/// ActiveLearner::suggest() and owned by the learner; the reference stays
+/// valid until the suggestion is observed (or the learner is destroyed).
+struct Suggestion {
+  /// Opaque id pairing this suggestion with its observe() call.  Tickets
+  /// are issued from a deterministic per-learner counter starting at 1,
+  /// so a replayed session re-issues identical tickets.  0 when Phase is
+  /// Done (there is nothing to observe).
+  uint64_t Ticket = 0;
+
+  /// Lifecycle phase this suggestion was issued in.
+  SuggestPhase Phase = SuggestPhase::Done;
+
+  /// Configurations to measure, in order.  Empty when Phase is Done.
+  std::vector<Config> Configs;
+
+  /// Measurements wanted per configuration.  observe() expects exactly
+  /// Configs.size() * ObservationsPerConfig costs, grouped by
+  /// configuration (all costs for Configs[0] first).
+  unsigned ObservationsPerConfig = 0;
+};
+
 /// The active-learning loop of Algorithm 1.
+///
+/// **Thread-safety:** not internally synchronized — drive each learner
+/// from one thread at a time (alic_serve wraps each session's learner in
+/// a mutex).  The learner may *internally* fan work out across the
+/// installed Scheduler; that parallelism never changes results.
+///
+/// **Determinism:** every random draw derives from Cfg.Seed (selection
+/// draws from one sequential stream consumed only inside suggest();
+/// virtual-measurement draws are counter-based per configuration).
+/// Consequently (a) results are bit-identical at any scheduler worker
+/// count including none, and (b) a learner's entire state is a pure
+/// function of its constructor arguments and the sequence of cost
+/// vectors passed to observe().
+///
+/// **Ownership:** the oracle and model are borrowed and must outlive the
+/// learner; the pool and normalizer are copied in.
 class ActiveLearner {
 public:
   /// \p Pool is the set F of configurations available for training;
   /// \p Norm maps raw feature vectors to model space.  The model must be
-  /// unfitted; seeding happens on the first step().  When \p Workers is
-  /// non-null, candidate scoring is sharded across it; the loop's results
-  /// are bit-identical with or without a scheduler, at any worker count.
-  /// The loop itself may run inside a scheduler task (a campaign cell):
-  /// its inner shards fork onto the same pool and idle workers steal
-  /// them.
+  /// unfitted; seeding happens on the first step()/suggest().  When
+  /// \p Workers is non-null, candidate scoring is sharded across it; the
+  /// loop's results are bit-identical with or without a scheduler, at any
+  /// worker count.  The loop itself may run inside a scheduler task (a
+  /// campaign cell): its inner shards fork onto the same pool and idle
+  /// workers steal them.
   ActiveLearner(const WorkloadOracle &Oracle, SurrogateModel &Model,
                 Normalizer Norm, std::vector<Config> Pool, SamplingPlan Plan,
                 ActiveLearnerConfig Cfg, Scheduler *Workers = nullptr);
@@ -115,8 +180,34 @@ public:
   /// Runs one loop iteration labelling up to \p Batch top-scored
   /// candidates (the parallel variant the paper describes after Alg. 1).
   /// Every labelled example is charged to the Profiler ledger and counted
-  /// in stats() exactly as in the one-at-a-time path.
+  /// in stats() exactly as in the one-at-a-time path.  Equivalent to
+  /// suggest(Batch) + virtual measurement + observe().
   bool step(unsigned Batch);
+
+  /// Selects the next configuration(s) to measure without measuring them:
+  /// the first call returns the ninit seed configurations (Explore — the
+  /// model is untouched until their costs arrive); later calls run
+  /// candidate assembly and scoring for up to \p Batch picks (Refine);
+  /// once the completion criterion holds the phase is Done.  While a
+  /// suggestion is outstanding (issued but not yet observed) this is
+  /// idempotent: it returns the same suggestion again and ignores
+  /// \p Batch, so a client that lost a reply can simply re-ask.  The
+  /// returned reference is owned by the learner and is invalidated by the
+  /// next state-changing call.
+  const Suggestion &suggest(unsigned Batch);
+
+  /// Same, labelling Cfg.BatchSize examples per iteration.
+  const Suggestion &suggest() { return suggest(std::max(1u, Cfg.BatchSize)); }
+
+  /// Folds measured costs into the learner: fits the model on the seed
+  /// costs (Explore) or updates it with the selected examples (Refine),
+  /// and advances all bookkeeping.  \p Ticket must be the outstanding
+  /// suggestion's ticket and \p Costs must hold exactly
+  /// Configs.size() * ObservationsPerConfig values grouped by
+  /// configuration; returns false (and changes nothing) otherwise.
+  /// Deterministic: no random draws happen here, so replaying a recorded
+  /// cost sequence reproduces the learner's state bit-identically.
+  bool observe(uint64_t Ticket, const std::vector<double> &Costs);
 
   /// Installs (or removes, with nullptr) the scheduler.  It shards
   /// candidate scoring, batched measurement, and the model's internal
@@ -130,17 +221,30 @@ public:
   /// True when nmax training examples have been absorbed.
   bool done() const;
 
+  /// True once the seed costs have been absorbed and the model fitted
+  /// (the Explore → Refine transition).
+  bool seeded() const { return Seeded; }
+
+  /// True while a suggestion has been issued but not yet observed.
+  bool suggestionOutstanding() const { return HasOutstanding; }
+
   /// Cumulative virtual profiling cost (the paper's evaluation-time axis).
+  /// Only the batch step() path charges this ledger; sessions driven via
+  /// suggest()/observe() account cost on the serving side.
   double cumulativeCostSeconds() const { return Prof.ledger().totalSeconds(); }
 
+  /// Progress counters (iterations, distinct examples, revisits, runs).
   const LearnerStats &stats() const { return Stats; }
+  /// The virtual profiler backing the batch step() path.
   const Profiler &profiler() const { return Prof; }
+  /// The surrogate being trained.
   SurrogateModel &model() { return Model; }
+  /// The feature normalizer examples are transformed through.
   const Normalizer &normalizer() const { return Norm; }
 
 private:
-  void seed();
   std::vector<double> featuresOf(const Config &C) const;
+  const Suggestion &suggestSeed();
 
   const WorkloadOracle &Oracle;
   SurrogateModel &Model;
@@ -158,6 +262,14 @@ private:
   /// paper's D map), sequential plans only.
   std::vector<uint32_t> Revisitable;
   std::unordered_map<uint32_t, unsigned> ObsCount;
+
+  /// Pool indices behind the outstanding suggestion, in Configs order
+  /// (with, for Refine, whether each pick is a revisit).
+  std::vector<uint32_t> PendingIdx;
+  std::vector<uint8_t> PendingRevisit;
+  Suggestion Outstanding;
+  bool HasOutstanding = false;
+  uint64_t NextTicket = 1;
 
   bool Seeded = false;
   LearnerStats Stats;

@@ -9,10 +9,10 @@
 #include "stats/OnlineStats.h"
 #include "support/Error.h"
 #include "support/Format.h"
+#include "support/Json.h"
 #include "support/Scheduler.h"
 
 #include <algorithm>
-#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -147,194 +147,10 @@ std::vector<CampaignCell> alic::expandCells(const CampaignSpec &Spec) {
 }
 
 //===----------------------------------------------------------------------===//
-// JSON rendering and the minimal ledger parser
+// Ledger serialization (JSON machinery lives in support/Json)
 //===----------------------------------------------------------------------===//
 
 namespace {
-
-/// Shortest representation that strtod parses back to the same bits, so
-/// checkpointed doubles survive the serialize/parse round trip exactly.
-std::string formatJsonDouble(double Value) {
-  char Buffer[64];
-  auto [Ptr, Ec] = std::to_chars(Buffer, Buffer + sizeof(Buffer), Value);
-  if (Ec != std::errc())
-    return "0";
-  return std::string(Buffer, Ptr);
-}
-
-/// A tiny JSON value — just enough to read the cell ledger back.
-struct JsonValue {
-  enum class Kind { Null, Bool, Number, String, Array, Object };
-  Kind K = Kind::Null;
-  bool BoolValue = false;
-  double Number = 0.0;
-  std::string Str;
-  std::vector<JsonValue> Items;
-  std::vector<std::pair<std::string, JsonValue>> Fields;
-
-  const JsonValue *field(const char *Name) const {
-    for (const auto &[Key, Value] : Fields)
-      if (Key == Name)
-        return &Value;
-    return nullptr;
-  }
-};
-
-/// Recursive-descent parser over one null-terminated ledger line.
-class JsonParser {
-public:
-  explicit JsonParser(const char *Text) : P(Text) {}
-
-  bool parse(JsonValue &Out) {
-    if (!parseValue(Out))
-      return false;
-    skipWs();
-    return *P == '\0';
-  }
-
-private:
-  void skipWs() {
-    while (*P == ' ' || *P == '\t' || *P == '\r' || *P == '\n')
-      ++P;
-  }
-
-  bool literal(const char *Word) {
-    size_t Len = std::strlen(Word);
-    if (std::strncmp(P, Word, Len) != 0)
-      return false;
-    P += Len;
-    return true;
-  }
-
-  bool parseString(std::string &Out) {
-    if (*P != '"')
-      return false;
-    ++P;
-    Out.clear();
-    while (*P && *P != '"') {
-      if (*P == '\\') {
-        ++P;
-        switch (*P) {
-        case '"': Out.push_back('"'); break;
-        case '\\': Out.push_back('\\'); break;
-        case '/': Out.push_back('/'); break;
-        case 'n': Out.push_back('\n'); break;
-        case 't': Out.push_back('\t'); break;
-        case 'r': Out.push_back('\r'); break;
-        case 'b': Out.push_back('\b'); break;
-        case 'f': Out.push_back('\f'); break;
-        default: return false; // \uXXXX never appears in our ledger
-        }
-        ++P;
-      } else {
-        Out.push_back(*P++);
-      }
-    }
-    if (*P != '"')
-      return false;
-    ++P;
-    return true;
-  }
-
-  bool parseValue(JsonValue &Out) {
-    skipWs();
-    if (*P == '{') {
-      ++P;
-      Out.K = JsonValue::Kind::Object;
-      skipWs();
-      if (*P == '}') {
-        ++P;
-        return true;
-      }
-      while (true) {
-        skipWs();
-        std::string Key;
-        if (!parseString(Key))
-          return false;
-        skipWs();
-        if (*P != ':')
-          return false;
-        ++P;
-        JsonValue Value;
-        if (!parseValue(Value))
-          return false;
-        Out.Fields.emplace_back(std::move(Key), std::move(Value));
-        skipWs();
-        if (*P == ',') {
-          ++P;
-          continue;
-        }
-        if (*P == '}') {
-          ++P;
-          return true;
-        }
-        return false;
-      }
-    }
-    if (*P == '[') {
-      ++P;
-      Out.K = JsonValue::Kind::Array;
-      skipWs();
-      if (*P == ']') {
-        ++P;
-        return true;
-      }
-      while (true) {
-        JsonValue Item;
-        if (!parseValue(Item))
-          return false;
-        Out.Items.push_back(std::move(Item));
-        skipWs();
-        if (*P == ',') {
-          ++P;
-          continue;
-        }
-        if (*P == ']') {
-          ++P;
-          return true;
-        }
-        return false;
-      }
-    }
-    if (*P == '"') {
-      Out.K = JsonValue::Kind::String;
-      return parseString(Out.Str);
-    }
-    if (literal("true")) {
-      Out.K = JsonValue::Kind::Bool;
-      Out.BoolValue = true;
-      return true;
-    }
-    if (literal("false")) {
-      Out.K = JsonValue::Kind::Bool;
-      return true;
-    }
-    if (literal("null"))
-      return true;
-    char *End = nullptr;
-    double Number = std::strtod(P, &End);
-    if (End == P)
-      return false;
-    Out.K = JsonValue::Kind::Number;
-    Out.Number = Number;
-    P = End;
-    return true;
-  }
-
-  const char *P;
-};
-
-bool numberField(const JsonValue &Object, const char *Name, double &Out) {
-  const JsonValue *Field = Object.field(Name);
-  if (!Field || Field->K != JsonValue::Kind::Number)
-    return false;
-  Out = Field->Number;
-  return true;
-}
-
-//===----------------------------------------------------------------------===//
-// Ledger serialization
-//===----------------------------------------------------------------------===//
 
 std::string cellLine(const std::string &Key, CampaignCell::Kind Kind,
                      const CellResult &Result) {
@@ -372,8 +188,7 @@ std::string cellLine(const std::string &Key, CampaignCell::Kind Kind,
 bool parseCellLine(const std::string &Line, std::string &Key,
                    CellResult &Result) {
   JsonValue Root;
-  if (!JsonParser(Line.c_str()).parse(Root) ||
-      Root.K != JsonValue::Kind::Object)
+  if (!parseJson(Line.c_str(), Root) || Root.K != JsonValue::Kind::Object)
     return false;
   const JsonValue *Cell = Root.field("cell");
   if (!Cell || Cell->K != JsonValue::Kind::String)
@@ -394,12 +209,12 @@ bool parseCellLine(const std::string &Line, std::string &Key,
 
   double Iterations, Distinct, Revisits, Observations;
   RunResult &R = Result.Run;
-  if (!numberField(Root, "iterations", Iterations) ||
-      !numberField(Root, "distinct", Distinct) ||
-      !numberField(Root, "revisits", Revisits) ||
-      !numberField(Root, "observations", Observations) ||
-      !numberField(Root, "final_rmse", R.FinalRmse) ||
-      !numberField(Root, "total_cost_seconds", R.TotalCostSeconds))
+  if (!jsonNumberField(Root, "iterations", Iterations) ||
+      !jsonNumberField(Root, "distinct", Distinct) ||
+      !jsonNumberField(Root, "revisits", Revisits) ||
+      !jsonNumberField(Root, "observations", Observations) ||
+      !jsonNumberField(Root, "final_rmse", R.FinalRmse) ||
+      !jsonNumberField(Root, "total_cost_seconds", R.TotalCostSeconds))
     return false;
   R.Stats.Iterations = size_t(Iterations);
   R.Stats.DistinctExamples = size_t(Distinct);

@@ -40,10 +40,12 @@ private:
   NoiseProfile Noise;
 };
 
-std::unique_ptr<SurrogateModel> makeModel(const RunOptions &Options,
-                                          const ExperimentScale &S,
-                                          uint64_t Seed) {
-  if (Options.Model == ModelKind::Gp) {
+} // namespace
+
+std::unique_ptr<SurrogateModel>
+alic::makeSurrogateModel(ModelKind Kind, const ExperimentScale &S,
+                         uint64_t Seed) {
+  if (Kind == ModelKind::Gp) {
     GpConfig G;
     G.Seed = hashCombine({Seed, 0x6770ull});
     return std::make_unique<GaussianProcess>(G);
@@ -54,13 +56,12 @@ std::unique_ptr<SurrogateModel> makeModel(const RunOptions &Options,
   return std::make_unique<DynaTree>(C);
 }
 
-} // namespace
-
 RunResult alic::runLearning(const SpaptBenchmark &B, const Dataset &D,
                             SamplingPlan Plan, const ExperimentScale &S,
                             uint64_t Seed, const RunOptions &Options) {
   ScaledNoiseOracle Oracle(B, Options.NoiseScale);
-  std::unique_ptr<SurrogateModel> Model = makeModel(Options, S, Seed);
+  std::unique_ptr<SurrogateModel> Model =
+      makeSurrogateModel(Options.Model, S, Seed);
 
   ActiveLearnerConfig Cfg = Options.Learner;
   S.applyTo(Cfg);

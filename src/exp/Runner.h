@@ -20,27 +20,41 @@
 #include "exp/Dataset.h"
 #include "exp/Scale.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace alic {
 
 /// Which surrogate drives the learner.
-enum class ModelKind { DynaTree, Gp };
+enum class ModelKind {
+  DynaTree, ///< the paper's dynamic-tree particle filter
+  Gp,       ///< exact incremental Gaussian process comparator
+};
+
+/// Builds an unfitted surrogate of \p Kind sized by \p S (DynaTree
+/// particle count) and seeded deterministically from \p Seed — the one
+/// model-construction path shared by runLearning, the campaign
+/// orchestrator, and serve sessions, so a session and a batch run with
+/// the same (kind, scale, seed) hold bit-identical models.  The caller
+/// owns the result.
+std::unique_ptr<SurrogateModel> makeSurrogateModel(ModelKind Kind,
+                                                   const ExperimentScale &S,
+                                                   uint64_t Seed);
 
 /// One point of a learning curve.
 struct CurvePoint {
-  size_t Iteration = 0;
-  double CostSeconds = 0.0;
-  double Rmse = 0.0;
+  size_t Iteration = 0;    ///< learner iteration the point was taken at
+  double CostSeconds = 0.0; ///< cumulative virtual profiling cost so far
+  double Rmse = 0.0;        ///< test-set RMSE at that cost
 };
 
 /// A (possibly seed-averaged) learning curve.
 struct RunResult {
-  std::vector<CurvePoint> Curve;
-  LearnerStats Stats;
-  double FinalRmse = 0.0;
-  double TotalCostSeconds = 0.0;
+  std::vector<CurvePoint> Curve; ///< RMSE-vs-cost samples, cost-ascending
+  LearnerStats Stats;            ///< final learner counters
+  double FinalRmse = 0.0;        ///< RMSE after the last iteration
+  double TotalCostSeconds = 0.0; ///< total virtual profiling cost charged
 };
 
 /// Everything a learning run needs beyond the benchmark, dataset, plan,
@@ -84,12 +98,13 @@ RunResult averageRuns(const std::vector<RunResult> &Runs);
 /// error level is the worst of the two curves' best errors, and each cost
 /// is the first cumulative cost at which the curve reaches that level.
 struct PlanComparison {
-  double LowestCommonRmse = 0.0;
-  double BaselineCostSeconds = 0.0;
-  double OursCostSeconds = 0.0;
-  double Speedup = 0.0;
+  double LowestCommonRmse = 0.0;     ///< worst of the two curves' best RMSEs
+  double BaselineCostSeconds = 0.0;  ///< baseline's cost to reach that level
+  double OursCostSeconds = 0.0;      ///< our plan's cost to reach it
+  double Speedup = 0.0;              ///< baseline cost / our cost
 };
 
+/// Compares two curves at their lowest common error (see PlanComparison).
 PlanComparison compareCurves(const RunResult &Baseline, const RunResult &Ours);
 
 } // namespace alic

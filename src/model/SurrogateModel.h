@@ -33,8 +33,8 @@ class Scheduler;
 
 /// Predictive distribution summary at one point.
 struct Prediction {
-  double Mean = 0.0;
-  double Variance = 0.0;
+  double Mean = 0.0;     ///< predicted runtime (seconds)
+  double Variance = 0.0; ///< predictive variance around the mean
 };
 
 /// Optional instrumentation sink for the scoring hot path.  Ensemble
@@ -102,7 +102,7 @@ struct ScoreContext {
 /// implicitly at call sites.
 class SurrogateModel {
 public:
-  virtual ~SurrogateModel();
+  virtual ~SurrogateModel(); ///< out-of-line anchor for the vtable
 
   /// Resets the model and trains on a batch.
   virtual void fit(const FlatRows &X, const std::vector<double> &Y) = 0;

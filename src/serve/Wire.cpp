@@ -1,0 +1,281 @@
+//===- serve/Wire.cpp -----------------------------------------*- C++ -*-===//
+
+#include "serve/Wire.h"
+
+#include "serve/ServeEngine.h"
+#include "support/Json.h"
+
+#include <cstdio>
+
+using namespace alic;
+
+namespace {
+
+std::string errorReply(const std::string &Message) {
+  return "{\"ok\":false,\"error\":\"" + jsonEscape(Message) + "\"}";
+}
+
+const char *phaseToken(SuggestPhase Phase) {
+  switch (Phase) {
+  case SuggestPhase::Explore:
+    return "explore";
+  case SuggestPhase::Refine:
+    return "refine";
+  case SuggestPhase::Done:
+    return "done";
+  }
+  return "done";
+}
+
+/// Reads an optional field; true when absent (keeping the default) or
+/// present with the right type, false on a type/value error.
+bool optionalString(const JsonValue &Obj, const char *Name, std::string &Out,
+                    std::string &Err) {
+  const JsonValue *F = Obj.field(Name);
+  if (!F)
+    return true;
+  if (F->K != JsonValue::Kind::String) {
+    Err = std::string("field '") + Name + "' must be a string";
+    return false;
+  }
+  Out = F->Str;
+  return true;
+}
+
+bool optionalU64(const JsonValue &Obj, const char *Name, uint64_t &Out,
+                 std::string &Err) {
+  const JsonValue *F = Obj.field(Name);
+  if (!F)
+    return true;
+  if (F->K != JsonValue::Kind::Number || F->Number < 0) {
+    Err = std::string("field '") + Name + "' must be a non-negative number";
+    return false;
+  }
+  Out = uint64_t(F->Number);
+  return true;
+}
+
+/// Parses the optional `spec` object of an `open` request into \p Spec
+/// (fields missing from the wire keep their SessionSpec defaults).
+bool parseSpec(const JsonValue &Root, SessionSpec &Spec, std::string &Err) {
+  const JsonValue *S = Root.field("spec");
+  if (!S)
+    return true;
+  if (S->K != JsonValue::Kind::Object) {
+    Err = "field 'spec' must be an object";
+    return false;
+  }
+  if (!optionalString(*S, "benchmark", Spec.Benchmark, Err))
+    return false;
+
+  std::string Model;
+  if (!optionalString(*S, "model", Model, Err))
+    return false;
+  if (Model == "gp")
+    Spec.Model = ModelKind::Gp;
+  else if (Model == "dynatree" || Model.empty())
+    Spec.Model = ModelKind::DynaTree;
+  else {
+    Err = "unknown model '" + Model + "' (want dynatree|gp)";
+    return false;
+  }
+
+  std::string Scorer;
+  if (!optionalString(*S, "scorer", Scorer, Err))
+    return false;
+  if (Scorer == "alm")
+    Spec.Scorer = ScorerKind::Alm;
+  else if (Scorer == "random")
+    Spec.Scorer = ScorerKind::Random;
+  else if (Scorer == "alc" || Scorer.empty())
+    Spec.Scorer = ScorerKind::Alc;
+  else {
+    Err = "unknown scorer '" + Scorer + "' (want alc|alm|random)";
+    return false;
+  }
+
+  // Plans travel in the campaign ledger's token form: "seq:<cap>" or
+  // "fixed:<observations>".
+  std::string Plan;
+  if (!optionalString(*S, "plan", Plan, Err))
+    return false;
+  if (!Plan.empty()) {
+    unsigned Count = 0;
+    if (std::sscanf(Plan.c_str(), "seq:%u", &Count) == 1)
+      Spec.Plan = SamplingPlan::sequential(Count);
+    else if (std::sscanf(Plan.c_str(), "fixed:%u", &Count) == 1)
+      Spec.Plan = SamplingPlan::fixed(Count);
+    else {
+      Err = "unknown plan '" + Plan + "' (want seq:<cap>|fixed:<obs>)";
+      return false;
+    }
+  }
+
+  uint64_t Batch = Spec.BatchSize;
+  if (!optionalU64(*S, "batch", Batch, Err))
+    return false;
+  Spec.BatchSize = unsigned(Batch);
+  if (!optionalU64(*S, "seed", Spec.Seed, Err))
+    return false;
+  if (!optionalU64(*S, "dataset_seed", Spec.DatasetSeed, Err))
+    return false;
+  uint64_t MaxExamples = Spec.Scale.MaxTrainingExamples;
+  if (!optionalU64(*S, "max_examples", MaxExamples, Err))
+    return false;
+  if (MaxExamples == 0) {
+    Err = "field 'max_examples' must be positive";
+    return false;
+  }
+  Spec.Scale.MaxTrainingExamples = unsigned(MaxExamples);
+  return true;
+}
+
+std::string suggestionReply(const Suggestion &S) {
+  std::string Reply = "{\"ok\":true,\"phase\":\"";
+  Reply += phaseToken(S.Phase);
+  Reply += "\",\"ticket\":" + std::to_string(S.Ticket);
+  Reply +=
+      ",\"observations_per_config\":" + std::to_string(S.ObservationsPerConfig);
+  Reply += ",\"configs\":[";
+  for (size_t I = 0; I != S.Configs.size(); ++I) {
+    if (I)
+      Reply += ",";
+    Reply += "[";
+    for (size_t J = 0; J != S.Configs[I].size(); ++J) {
+      if (J)
+        Reply += ",";
+      Reply += std::to_string(S.Configs[I][J]);
+    }
+    Reply += "]";
+  }
+  Reply += "]}";
+  return Reply;
+}
+
+} // namespace
+
+bool alic::handleRequestLine(ServeEngine &Engine, const std::string &Line,
+                             std::string &Reply) {
+  JsonValue Root;
+  if (!parseJson(Line.c_str(), Root) || Root.K != JsonValue::Kind::Object) {
+    Reply = errorReply("malformed request (want one JSON object per line)");
+    return false;
+  }
+  std::string Op;
+  if (!jsonStringField(Root, "op", Op)) {
+    Reply = errorReply("missing string field 'op'");
+    return false;
+  }
+
+  if (Op == "ping") {
+    Reply = "{\"ok\":true,\"sessions\":" +
+            std::to_string(Engine.sessionCount()) + "}";
+    return false;
+  }
+  if (Op == "shutdown") {
+    Reply = "{\"ok\":true,\"bye\":true}";
+    return true;
+  }
+
+  std::string Id;
+  if (!jsonStringField(Root, "session", Id)) {
+    Reply = errorReply("missing string field 'session'");
+    return false;
+  }
+  std::string Err;
+
+  if (Op == "open") {
+    SessionSpec Spec;
+    if (!parseSpec(Root, Spec, Err)) {
+      Reply = errorReply(Err);
+      return false;
+    }
+    if (!Engine.openSession(Id, Spec, Err)) {
+      Reply = errorReply(Err);
+      return false;
+    }
+    Reply = "{\"ok\":true,\"session\":\"" + jsonEscape(Id) + "\"}";
+    return false;
+  }
+
+  if (Op == "suggest") {
+    Suggestion S;
+    if (!Engine.suggest(Id, S, Err)) {
+      Reply = errorReply(Err);
+      return false;
+    }
+    Reply = suggestionReply(S);
+    return false;
+  }
+
+  if (Op == "observe") {
+    double TicketNumber = -1.0;
+    if (!jsonNumberField(Root, "ticket", TicketNumber) || TicketNumber < 0) {
+      Reply = errorReply("missing numeric field 'ticket'");
+      return false;
+    }
+    const JsonValue *CostsField = Root.field("costs");
+    if (!CostsField || CostsField->K != JsonValue::Kind::Array) {
+      Reply = errorReply("missing array field 'costs'");
+      return false;
+    }
+    std::vector<double> Costs;
+    Costs.reserve(CostsField->Items.size());
+    for (const JsonValue &Item : CostsField->Items) {
+      if (Item.K != JsonValue::Kind::Number) {
+        Reply = errorReply("field 'costs' must hold numbers only");
+        return false;
+      }
+      Costs.push_back(Item.Number);
+    }
+    if (!Engine.observe(Id, uint64_t(TicketNumber), Costs, Err)) {
+      Reply = errorReply(Err);
+      return false;
+    }
+    SessionInfo Info;
+    size_t Observes = Engine.sessionInfo(Id, Info, Err) ? Info.Observes : 0;
+    Reply = "{\"ok\":true,\"observes\":" + std::to_string(Observes) + "}";
+    return false;
+  }
+
+  if (Op == "info") {
+    SessionInfo Info;
+    if (!Engine.sessionInfo(Id, Info, Err)) {
+      Reply = errorReply(Err);
+      return false;
+    }
+    Reply = "{\"ok\":true,\"phase\":\"";
+    Reply += phaseToken(Info.Phase);
+    Reply += "\",\"iterations\":" + std::to_string(Info.Stats.Iterations);
+    Reply += ",\"distinct\":" + std::to_string(Info.Stats.DistinctExamples);
+    Reply += ",\"revisits\":" + std::to_string(Info.Stats.Revisits);
+    Reply += ",\"observations\":" + std::to_string(Info.Stats.Observations);
+    Reply += ",\"observes\":" + std::to_string(Info.Observes);
+    Reply += ",\"total_cost_seconds\":" + formatJsonDouble(Info.TotalCostSeconds);
+    Reply += std::string(",\"done\":") + (Info.Done ? "true" : "false");
+    Reply += "}";
+    return false;
+  }
+
+  if (Op == "eval") {
+    double Rmse = 0.0;
+    if (!Engine.evaluate(Id, Rmse, Err)) {
+      Reply = errorReply(Err);
+      return false;
+    }
+    Reply = "{\"ok\":true,\"rmse\":" + formatJsonDouble(Rmse) + "}";
+    return false;
+  }
+
+  if (Op == "close") {
+    if (!Engine.closeSession(Id)) {
+      Reply = errorReply("unknown session '" + Id + "'");
+      return false;
+    }
+    Reply = "{\"ok\":true}";
+    return false;
+  }
+
+  Reply = errorReply("unknown op '" + Op + "'");
+  return false;
+}

@@ -62,12 +62,16 @@ double alic::geometricMean(const std::vector<double> &Values) {
 }
 
 double alic::arithmeticMean(const std::vector<double> &Values) {
-  if (Values.empty())
+  return arithmeticMean(Values.data(), Values.size());
+}
+
+double alic::arithmeticMean(const double *Values, std::size_t Count) {
+  if (Count == 0)
     return 0.0;
   double Sum = 0.0;
-  for (double V : Values)
-    Sum += V;
-  return Sum / double(Values.size());
+  for (size_t I = 0; I != Count; ++I)
+    Sum += Values[I];
+  return Sum / double(Count);
 }
 
 double alic::quantile(std::vector<double> Values, double Q) {

@@ -15,6 +15,7 @@
 #ifndef ALIC_STATS_METRICS_H
 #define ALIC_STATS_METRICS_H
 
+#include <cstddef>
 #include <vector>
 
 namespace alic {
@@ -36,6 +37,11 @@ double geometricMean(const std::vector<double> &Values);
 
 /// Arithmetic mean; 0 when empty.
 double arithmeticMean(const std::vector<double> &Values);
+
+/// Arithmetic mean of \p Count values starting at \p Values; 0 when
+/// Count is 0.  Identical summation order to the vector overload, so
+/// means of a slice match means of a copy bit-for-bit.
+double arithmeticMean(const double *Values, std::size_t Count);
 
 /// \p Q-th quantile (0..1) by linear interpolation of the sorted sample.
 double quantile(std::vector<double> Values, double Q);

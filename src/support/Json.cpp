@@ -1,0 +1,212 @@
+//===- support/Json.cpp ---------------------------------------*- C++ -*-===//
+
+#include "support/Json.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+
+using namespace alic;
+
+namespace {
+
+/// Recursive-descent parser over one null-terminated document.
+class JsonParser {
+public:
+  explicit JsonParser(const char *Text) : P(Text) {}
+
+  bool parse(JsonValue &Out) {
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    return *P == '\0';
+  }
+
+private:
+  void skipWs() {
+    while (*P == ' ' || *P == '\t' || *P == '\r' || *P == '\n')
+      ++P;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::strlen(Word);
+    if (std::strncmp(P, Word, Len) != 0)
+      return false;
+    P += Len;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (*P != '"')
+      return false;
+    ++P;
+    Out.clear();
+    while (*P && *P != '"') {
+      if (*P == '\\') {
+        ++P;
+        switch (*P) {
+        case '"': Out.push_back('"'); break;
+        case '\\': Out.push_back('\\'); break;
+        case '/': Out.push_back('/'); break;
+        case 'n': Out.push_back('\n'); break;
+        case 't': Out.push_back('\t'); break;
+        case 'r': Out.push_back('\r'); break;
+        case 'b': Out.push_back('\b'); break;
+        case 'f': Out.push_back('\f'); break;
+        default: return false; // \uXXXX never appears in our documents
+        }
+        ++P;
+      } else {
+        Out.push_back(*P++);
+      }
+    }
+    if (*P != '"')
+      return false;
+    ++P;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out) {
+    skipWs();
+    if (*P == '{') {
+      ++P;
+      Out.K = JsonValue::Kind::Object;
+      skipWs();
+      if (*P == '}') {
+        ++P;
+        return true;
+      }
+      while (true) {
+        skipWs();
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipWs();
+        if (*P != ':')
+          return false;
+        ++P;
+        JsonValue Value;
+        if (!parseValue(Value))
+          return false;
+        Out.Fields.emplace_back(std::move(Key), std::move(Value));
+        skipWs();
+        if (*P == ',') {
+          ++P;
+          continue;
+        }
+        if (*P == '}') {
+          ++P;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (*P == '[') {
+      ++P;
+      Out.K = JsonValue::Kind::Array;
+      skipWs();
+      if (*P == ']') {
+        ++P;
+        return true;
+      }
+      while (true) {
+        JsonValue Item;
+        if (!parseValue(Item))
+          return false;
+        Out.Items.push_back(std::move(Item));
+        skipWs();
+        if (*P == ',') {
+          ++P;
+          continue;
+        }
+        if (*P == ']') {
+          ++P;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (*P == '"') {
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.Str);
+    }
+    if (literal("true")) {
+      Out.K = JsonValue::Kind::Bool;
+      Out.BoolValue = true;
+      return true;
+    }
+    if (literal("false")) {
+      Out.K = JsonValue::Kind::Bool;
+      return true;
+    }
+    if (literal("null"))
+      return true;
+    char *End = nullptr;
+    double Number = std::strtod(P, &End);
+    if (End == P)
+      return false;
+    Out.K = JsonValue::Kind::Number;
+    Out.Number = Number;
+    P = End;
+    return true;
+  }
+
+  const char *P;
+};
+
+} // namespace
+
+bool alic::parseJson(const char *Text, JsonValue &Out) {
+  return JsonParser(Text).parse(Out);
+}
+
+std::string alic::formatJsonDouble(double Value) {
+  char Buffer[64];
+  auto [Ptr, Ec] = std::to_chars(Buffer, Buffer + sizeof(Buffer), Value);
+  if (Ec != std::errc())
+    return "0";
+  return std::string(Buffer, Ptr);
+}
+
+std::string alic::jsonEscape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\t': Out += "\\t"; break;
+    case '\r': Out += "\\r"; break;
+    case '\b': Out += "\\b"; break;
+    case '\f': Out += "\\f"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  return Out;
+}
+
+bool alic::jsonNumberField(const JsonValue &Object, const char *Name,
+                           double &Out) {
+  const JsonValue *Field = Object.field(Name);
+  if (!Field || Field->K != JsonValue::Kind::Number)
+    return false;
+  Out = Field->Number;
+  return true;
+}
+
+bool alic::jsonStringField(const JsonValue &Object, const char *Name,
+                           std::string &Out) {
+  const JsonValue *Field = Object.field(Name);
+  if (!Field || Field->K != JsonValue::Kind::String)
+    return false;
+  Out = Field->Str;
+  return true;
+}

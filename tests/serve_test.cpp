@@ -1,0 +1,456 @@
+//===- tests/serve_test.cpp - serve engine + wire tests -------*- C++ -*-===//
+//
+// Pins the serving contract: the suggest/observe split is bit-identical
+// to the batch step() loop; a killed-and-restored engine resumes every
+// session with byte-identical suggestions, at any worker count and steal
+// seed; suggest is idempotent while a ticket is outstanding; corrupt
+// snapshots are skipped, never fatal; and the NDJSON wire layer maps
+// requests to engine calls and errors to ok:false replies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Dataset.h"
+#include "serve/ServeEngine.h"
+#include "serve/Wire.h"
+#include "spapt/Suite.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+using namespace alic;
+
+namespace {
+
+/// A seconds-cheap session: a few dozen iterations over a small pool.
+SessionSpec tinySpec(uint64_t Seed = 3) {
+  SessionSpec Spec;
+  Spec.Benchmark = "atax";
+  Spec.Scale = ExperimentScale::preset(ScaleKind::Smoke);
+  Spec.Scale.NumConfigs = 200;
+  Spec.Scale.MaxTrainingExamples = 14;
+  Spec.Scale.CandidatesPerIteration = 12;
+  Spec.Scale.ReferenceSetSize = 15;
+  Spec.Scale.Particles = 30;
+  Spec.Scale.TestSubset = 40;
+  Spec.Seed = Seed;
+  return Spec;
+}
+
+ServeOptions engineOptions(const std::string &StateDir, unsigned Threads,
+                           uint64_t StealSeed = 0x57ea1ull) {
+  ServeOptions Opts;
+  Opts.StateDir = StateDir;
+  Opts.Threads = Threads;
+  Opts.StealSeed = StealSeed;
+  return Opts;
+}
+
+/// Fresh per-test state directory under the gtest temp root.
+std::string freshStateDir(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "alic_serve_" + Name;
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+/// Exact byte-level identity of a suggestion (configs are ordinals, so
+/// string rendering is lossless).
+std::string fingerprint(const Suggestion &S) {
+  std::string F = std::to_string(S.Ticket) + "|" +
+                  std::to_string(int(S.Phase)) + "|" +
+                  std::to_string(S.ObservationsPerConfig);
+  for (const Config &C : S.Configs) {
+    F += "|";
+    for (uint16_t V : C)
+      F += std::to_string(V) + ",";
+  }
+  return F;
+}
+
+/// The client side of a session: measures suggested configs with its own
+/// virtual profiler (state survives server restarts, like a real user's
+/// machine does).
+struct Client {
+  explicit Client(const std::string &Benchmark)
+      : Bench(createSpaptBenchmark(Benchmark)), Lab(*Bench, 0xc11e47) {}
+
+  std::vector<double> measure(const Suggestion &S) {
+    std::vector<double> Costs;
+    for (const Config &C : S.Configs) {
+      std::vector<double> Obs = Lab.measure(C, S.ObservationsPerConfig);
+      Costs.insert(Costs.end(), Obs.begin(), Obs.end());
+    }
+    return Costs;
+  }
+
+  std::unique_ptr<SpaptBenchmark> Bench;
+  Profiler Lab;
+};
+
+/// Runs suggest/measure/observe rounds until the session completes or
+/// \p MaxRounds is hit, appending each round's suggestion fingerprint.
+void drain(ServeEngine &Engine, const std::string &Id, Client &C,
+           std::vector<std::string> &Fingerprints,
+           size_t MaxRounds = size_t(-1)) {
+  for (size_t Round = 0; Round != MaxRounds; ++Round) {
+    Suggestion S;
+    std::string Err;
+    ASSERT_TRUE(Engine.suggest(Id, S, Err)) << Err;
+    if (S.Phase == SuggestPhase::Done)
+      return;
+    Fingerprints.push_back(fingerprint(S));
+    ASSERT_TRUE(Engine.observe(Id, S.Ticket, C.measure(S), Err)) << Err;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The split loop is the batch loop
+//===----------------------------------------------------------------------===//
+
+// Drives one learner with step() and its twin with suggest/observe plus
+// an external profiler on the same stream seed; every counter and every
+// model prediction must match bitwise.
+TEST(ServeSplit, SuggestObserveMatchesBatchStep) {
+  auto Bench = createSpaptBenchmark("mvt");
+  Dataset Data = buildDataset(*Bench, 150, 0.75, 5, 11);
+
+  ExperimentScale Scale = ExperimentScale::preset(ScaleKind::Smoke);
+  Scale.Particles = 30;
+  ActiveLearnerConfig Cfg;
+  Scale.applyTo(Cfg);
+  Cfg.MaxTrainingExamples = 12;
+  Cfg.CandidatesPerIteration = 10;
+  Cfg.ReferenceSetSize = 12;
+  Cfg.Seed = 5;
+
+  for (SamplingPlan Plan :
+       {SamplingPlan::sequential(4), SamplingPlan::fixed(3)}) {
+    auto ModelA = makeSurrogateModel(ModelKind::DynaTree, Scale, Cfg.Seed);
+    auto ModelB = makeSurrogateModel(ModelKind::DynaTree, Scale, Cfg.Seed);
+    ActiveLearner A(*Bench, *ModelA, Data.Norm, Data.TrainPool, Plan, Cfg);
+    ActiveLearner B(*Bench, *ModelB, Data.Norm, Data.TrainPool, Plan, Cfg);
+
+    // B's "client" measures with the learner-internal profiler's exact
+    // stream seed, so both learners see identical observations.
+    Profiler Lab(*Bench, hashCombine({Cfg.Seed, 0x50524f46ull}));
+
+    while (A.step()) {
+    }
+    while (true) {
+      const Suggestion &S = B.suggest();
+      if (S.Phase == SuggestPhase::Done)
+        break;
+      std::vector<double> Costs;
+      for (const Config &C : S.Configs) {
+        std::vector<double> Obs = Lab.measure(C, S.ObservationsPerConfig);
+        Costs.insert(Costs.end(), Obs.begin(), Obs.end());
+      }
+      ASSERT_TRUE(B.observe(S.Ticket, Costs));
+    }
+
+    EXPECT_EQ(A.stats().Iterations, B.stats().Iterations);
+    EXPECT_EQ(A.stats().DistinctExamples, B.stats().DistinctExamples);
+    EXPECT_EQ(A.stats().Revisits, B.stats().Revisits);
+    EXPECT_EQ(A.stats().Observations, B.stats().Observations);
+    for (size_t I = 0; I != std::min<size_t>(25, Data.TestFeatures.size());
+         ++I) {
+      Prediction PA = ModelA->predict(Data.TestFeatures[I]);
+      Prediction PB = ModelB->predict(Data.TestFeatures[I]);
+      ASSERT_EQ(PA.Mean, PB.Mean);
+      ASSERT_EQ(PA.Variance, PB.Variance);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Restart invisibility
+//===----------------------------------------------------------------------===//
+
+// Kills the engine after k observes, restores from snapshots, and pins
+// that every remaining suggestion is byte-identical to an uninterrupted
+// session — across worker counts and steal seeds.
+TEST(ServeEngineTest, RestartInvisibleAtAnyWorkerCount) {
+  // Uninterrupted reference session.
+  std::vector<std::string> Reference;
+  {
+    ServeEngine Engine(engineOptions("", 0));
+    std::string Err;
+    ASSERT_TRUE(Engine.openSession("ref", tinySpec(), Err)) << Err;
+    Client C("atax");
+    drain(Engine, "ref", C, Reference);
+    ASSERT_GT(Reference.size(), 8u);
+  }
+
+  struct Variant {
+    unsigned Threads;
+    uint64_t StealSeed;
+    const char *Name;
+  };
+  const Variant Variants[] = {
+      {0, 0x57ea1ull, "w0"},
+      {1, 0x57ea1ull, "w1"},
+      {8, 0x57ea1ull, "w8"},
+      {8, 0xfeedull, "w8-steal"},
+  };
+  const size_t KillAfter = 6;
+
+  for (const Variant &V : Variants) {
+    SCOPED_TRACE(V.Name);
+    std::string Dir = freshStateDir(std::string("restart_") + V.Name);
+    Client C("atax");
+    std::vector<std::string> Seen;
+    {
+      ServeEngine Engine(engineOptions(Dir, V.Threads, V.StealSeed));
+      std::string Err;
+      ASSERT_TRUE(Engine.openSession("s", tinySpec(), Err)) << Err;
+      drain(Engine, "s", C, Seen, KillAfter);
+      // Engine dropped here with the session mid-flight: the only state
+      // that survives is the snapshot directory, exactly like SIGKILL
+      // (every observe snapshotted, so nothing is newer than disk).
+    }
+    {
+      ServeEngine Engine(engineOptions(Dir, V.Threads, V.StealSeed));
+      size_t Skipped = 99;
+      ASSERT_EQ(Engine.restoreSessions(&Skipped), 1u);
+      EXPECT_EQ(Skipped, 0u);
+      drain(Engine, "s", C, Seen);
+
+      SessionInfo Info;
+      std::string Err;
+      ASSERT_TRUE(Engine.sessionInfo("s", Info, Err));
+      EXPECT_TRUE(Info.Done);
+    }
+    EXPECT_EQ(Seen, Reference);
+    std::filesystem::remove_all(Dir);
+  }
+}
+
+// A snapshot cadence above 1 restores to the last multiple of the
+// cadence; the client's stale ticket is then rejected and a re-suggest
+// resynchronizes.
+TEST(ServeEngineTest, CheckpointCadenceRestoresToLastSnapshot) {
+  std::string Dir = freshStateDir("cadence");
+  ServeOptions Opts = engineOptions(Dir, 0);
+  Opts.CheckpointEveryObserves = 3;
+  Client C("atax");
+  {
+    ServeEngine Engine(Opts);
+    std::string Err;
+    ASSERT_TRUE(Engine.openSession("s", tinySpec(), Err)) << Err;
+    std::vector<std::string> Seen;
+    drain(Engine, "s", C, Seen, 8); // snapshots after observes 3 and 6
+  }
+  {
+    ServeEngine Engine(Opts);
+    ASSERT_EQ(Engine.restoreSessions(), 1u);
+    SessionInfo Info;
+    std::string Err;
+    ASSERT_TRUE(Engine.sessionInfo("s", Info, Err));
+    EXPECT_EQ(Info.Observes, 6u);
+  }
+  std::filesystem::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Ticket lifecycle and error paths
+//===----------------------------------------------------------------------===//
+
+TEST(ServeEngineTest, SuggestIsIdempotentWhileOutstanding) {
+  ServeEngine Engine(engineOptions("", 0));
+  std::string Err;
+  ASSERT_TRUE(Engine.openSession("s", tinySpec(), Err)) << Err;
+
+  Suggestion First, Again;
+  ASSERT_TRUE(Engine.suggest("s", First, Err));
+  ASSERT_TRUE(Engine.suggest("s", Again, Err));
+  EXPECT_EQ(fingerprint(First), fingerprint(Again));
+  EXPECT_EQ(First.Phase, SuggestPhase::Explore);
+
+  // Wrong ticket, wrong cost count, then success, then stale ticket.
+  std::vector<double> Costs(First.Configs.size() *
+                                First.ObservationsPerConfig,
+                            0.5);
+  EXPECT_FALSE(Engine.observe("s", First.Ticket + 7, Costs, Err));
+  EXPECT_FALSE(Engine.observe("s", First.Ticket,
+                              std::vector<double>(3, 0.5), Err));
+  EXPECT_TRUE(Engine.observe("s", First.Ticket, Costs, Err)) << Err;
+  EXPECT_FALSE(Engine.observe("s", First.Ticket, Costs, Err));
+
+  // The next suggestion is a fresh ticket in the refine phase.
+  ASSERT_TRUE(Engine.suggest("s", Again, Err));
+  EXPECT_EQ(Again.Ticket, First.Ticket + 1);
+  EXPECT_EQ(Again.Phase, SuggestPhase::Refine);
+}
+
+TEST(ServeEngineTest, ErrorPaths) {
+  ServeEngine Engine(engineOptions("", 0));
+  std::string Err;
+  Suggestion S;
+  EXPECT_FALSE(Engine.suggest("nope", S, Err));
+  EXPECT_FALSE(Engine.observe("nope", 1, {0.5}, Err));
+  SessionInfo Info;
+  EXPECT_FALSE(Engine.sessionInfo("nope", Info, Err));
+  EXPECT_FALSE(Engine.closeSession("nope"));
+
+  EXPECT_FALSE(Engine.openSession("bad id!", tinySpec(), Err));
+  EXPECT_FALSE(Engine.openSession("", tinySpec(), Err));
+  SessionSpec Unknown = tinySpec();
+  Unknown.Benchmark = "no-such-kernel";
+  EXPECT_FALSE(Engine.openSession("s", Unknown, Err));
+
+  ASSERT_TRUE(Engine.openSession("s", tinySpec(), Err)) << Err;
+  EXPECT_FALSE(Engine.openSession("s", tinySpec(), Err)); // duplicate
+
+  // Evaluation needs a fitted model; the fresh session is still explore.
+  double Rmse = 0.0;
+  EXPECT_FALSE(Engine.evaluate("s", Rmse, Err));
+
+  EXPECT_TRUE(Engine.closeSession("s"));
+  EXPECT_EQ(Engine.sessionCount(), 0u);
+}
+
+TEST(ServeEngineTest, CorruptSnapshotsAreSkippedNotFatal) {
+  std::string Dir = freshStateDir("corrupt");
+  {
+    ServeEngine Engine(engineOptions(Dir, 0));
+    std::string Err;
+    ASSERT_TRUE(Engine.openSession("good", tinySpec(), Err)) << Err;
+    Client C("atax");
+    std::vector<std::string> Seen;
+    drain(Engine, "good", C, Seen, 4);
+  }
+  // A non-snapshot file and a truncated real snapshot in the state dir.
+  {
+    std::ofstream Bad(Dir + "/sess-bad.alsv", std::ios::binary);
+    Bad << "this is not a snapshot";
+  }
+  {
+    std::ifstream Good(Dir + "/sess-good.alsv", std::ios::binary);
+    std::string Bytes((std::istreambuf_iterator<char>(Good)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream Trunc(Dir + "/sess-trunc.alsv", std::ios::binary);
+    Trunc.write(Bytes.data(), std::streamsize(Bytes.size() / 2));
+  }
+  {
+    ServeEngine Engine(engineOptions(Dir, 0));
+    size_t Skipped = 0;
+    EXPECT_EQ(Engine.restoreSessions(&Skipped), 1u);
+    EXPECT_EQ(Skipped, 2u);
+    EXPECT_EQ(Engine.sessionIds(), std::vector<std::string>{"good"});
+  }
+  std::filesystem::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Wire protocol
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Dispatches one request and parses the reply object.
+JsonValue roundTrip(ServeEngine &Engine, const std::string &Request,
+                    bool *WantShutdown = nullptr) {
+  std::string Reply;
+  bool Shutdown = handleRequestLine(Engine, Request, Reply);
+  if (WantShutdown)
+    *WantShutdown = Shutdown;
+  JsonValue Root;
+  EXPECT_TRUE(parseJson(Reply.c_str(), Root)) << Reply;
+  EXPECT_EQ(Root.K, JsonValue::Kind::Object) << Reply;
+  return Root;
+}
+
+bool replyOk(const JsonValue &Reply) {
+  const JsonValue *Ok = Reply.field("ok");
+  return Ok && Ok->K == JsonValue::Kind::Bool && Ok->BoolValue;
+}
+
+} // namespace
+
+TEST(ServeWireTest, FullExchange) {
+  // The wire spec's scale comes from the environment; pin it small.
+  ::setenv("ALIC_SCALE", "smoke", 1);
+  ServeEngine Engine(engineOptions("", 0));
+
+  EXPECT_TRUE(replyOk(roundTrip(Engine, "{\"op\":\"ping\"}")));
+
+  JsonValue Opened = roundTrip(
+      Engine, "{\"op\":\"open\",\"session\":\"w\",\"spec\":{"
+              "\"benchmark\":\"atax\",\"model\":\"dynatree\","
+              "\"scorer\":\"alm\",\"plan\":\"seq:4\",\"seed\":9,"
+              "\"max_examples\":6}}");
+  ASSERT_TRUE(replyOk(Opened));
+
+  // Suggest returns the explore-phase seed configs and a ticket.
+  JsonValue Suggested =
+      roundTrip(Engine, "{\"op\":\"suggest\",\"session\":\"w\"}");
+  ASSERT_TRUE(replyOk(Suggested));
+  std::string Phase;
+  ASSERT_TRUE(jsonStringField(Suggested, "phase", Phase));
+  EXPECT_EQ(Phase, "explore");
+  double Ticket = 0, PerConfig = 0;
+  ASSERT_TRUE(jsonNumberField(Suggested, "ticket", Ticket));
+  ASSERT_TRUE(
+      jsonNumberField(Suggested, "observations_per_config", PerConfig));
+  const JsonValue *Configs = Suggested.field("configs");
+  ASSERT_TRUE(Configs && Configs->K == JsonValue::Kind::Array);
+  ASSERT_FALSE(Configs->Items.empty());
+
+  // Re-suggest returns the identical ticket (idempotency on the wire).
+  JsonValue Again = roundTrip(Engine, "{\"op\":\"suggest\",\"session\":\"w\"}");
+  double Ticket2 = -1;
+  ASSERT_TRUE(jsonNumberField(Again, "ticket", Ticket2));
+  EXPECT_EQ(Ticket, Ticket2);
+
+  // Observe with the right number of costs.
+  size_t NumCosts = Configs->Items.size() * size_t(PerConfig);
+  std::string Observe = "{\"op\":\"observe\",\"session\":\"w\",\"ticket\":" +
+                        std::to_string(uint64_t(Ticket)) + ",\"costs\":[";
+  for (size_t I = 0; I != NumCosts; ++I)
+    Observe += (I ? ",0.5" : "0.5");
+  Observe += "]}";
+  EXPECT_TRUE(replyOk(roundTrip(Engine, Observe)));
+
+  // A stale ticket is refused without advancing the session.
+  EXPECT_FALSE(replyOk(roundTrip(Engine, Observe)));
+
+  JsonValue Info = roundTrip(Engine, "{\"op\":\"info\",\"session\":\"w\"}");
+  ASSERT_TRUE(replyOk(Info));
+  double Observes = 0;
+  ASSERT_TRUE(jsonNumberField(Info, "observes", Observes));
+  EXPECT_EQ(Observes, 1.0);
+  JsonValue Eval = roundTrip(Engine, "{\"op\":\"eval\",\"session\":\"w\"}");
+  ASSERT_TRUE(replyOk(Eval));
+  double Rmse = -1;
+  ASSERT_TRUE(jsonNumberField(Eval, "rmse", Rmse));
+  EXPECT_GE(Rmse, 0.0);
+
+  EXPECT_TRUE(replyOk(roundTrip(Engine, "{\"op\":\"close\",\"session\":\"w\"}")));
+  EXPECT_EQ(Engine.sessionCount(), 0u);
+}
+
+TEST(ServeWireTest, ErrorsAndShutdown) {
+  ServeEngine Engine(engineOptions("", 0));
+
+  EXPECT_FALSE(replyOk(roundTrip(Engine, "not json at all")));
+  EXPECT_FALSE(replyOk(roundTrip(Engine, "{\"session\":\"x\"}")));
+  EXPECT_FALSE(replyOk(roundTrip(Engine, "{\"op\":\"sugest\",\"session\":\"x\"}")));
+  EXPECT_FALSE(replyOk(roundTrip(Engine, "{\"op\":\"suggest\",\"session\":\"x\"}")));
+  EXPECT_FALSE(replyOk(roundTrip(
+      Engine, "{\"op\":\"open\",\"session\":\"x\",\"spec\":{\"model\":\"svm\"}}")));
+  EXPECT_FALSE(replyOk(roundTrip(
+      Engine,
+      "{\"op\":\"open\",\"session\":\"x\",\"spec\":{\"plan\":\"always\"}}")));
+
+  // Every error above left the engine untouched.
+  EXPECT_EQ(Engine.sessionCount(), 0u);
+
+  bool Shutdown = false;
+  EXPECT_TRUE(replyOk(roundTrip(Engine, "{\"op\":\"shutdown\"}", &Shutdown)));
+  EXPECT_TRUE(Shutdown);
+}

@@ -62,6 +62,10 @@ WALLCLOCK_TOKENS = (
     # comparable in the artifacts.
     "scores_per_second",
     "dedup_speedup",
+    # bench_serve: suggest/observe round-trip rate — wall-clock derived
+    # and machine-dependent; BENCH_serve.json stays presence-gated and
+    # its round_trips/restored counts are deterministic.
+    "suggestions_per_second",
 )
 SKIP_PATH_TOKENS = ("curve",)
 

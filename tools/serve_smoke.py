@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""CI smoke test for alic_serve: the daemon survives SIGKILL invisibly.
+
+Drives the real daemon over its Unix socket twice with identical
+deterministic client behaviour:
+
+1. *reference* — one daemon serves a whole session of suggest/observe
+   rounds; every raw `suggest` reply line is recorded;
+2. *kill* — a fresh daemon (fresh state dir) serves the same session,
+   is SIGKILLed after K rounds, restarted on the same state dir, and
+   serves the remaining rounds.
+
+The kill run's reply lines must equal the reference run's byte for byte
+— the serving layer's restart-invisibility contract, checked end to end
+through the socket, the wire protocol, the snapshot files, and the
+restore-by-replay path.
+
+stdlib-only by design: CI runs it with a bare python3.
+
+Exit codes: 0 ok, 1 contract violation or daemon failure, 2 usage error.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+ROUNDS = 6
+KILL_AFTER = 3
+
+SPEC = {
+    "benchmark": "atax",
+    "model": "dynatree",
+    "scorer": "alc",
+    "plan": "seq:35",
+    "seed": 9,
+    "max_examples": 8,
+}
+
+
+def fail(message):
+    print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def synthetic_cost(round_index, slot):
+    """Deterministic stand-in for a measurement; identical in both runs."""
+    return 0.4 + ((round_index * 31 + slot * 7) % 97) * 1e-3
+
+
+class Daemon:
+    """One alic_serve process plus a line-oriented socket connection."""
+
+    def __init__(self, binary, sock_path, state_dir, label):
+        self.label = label
+        env = dict(os.environ, ALIC_SCALE="smoke")
+        self.proc = subprocess.Popen(
+            [binary, f"--socket={sock_path}", f"--state-dir={state_dir}",
+             "--threads=2"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env,
+            text=True)
+        ready = self.proc.stdout.readline()
+        if not ready.startswith("READY"):
+            fail(f"{label}: daemon did not print READY (got {ready!r})")
+        self.conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        for _ in range(50):  # the socket appears just before READY
+            try:
+                self.conn.connect(sock_path)
+                break
+            except OSError:
+                time.sleep(0.1)
+        else:
+            fail(f"{label}: could not connect to {sock_path}")
+        self.reader = self.conn.makefile("r")
+
+    def request(self, obj):
+        """Sends one request object, returns (raw reply line, parsed)."""
+        self.conn.sendall((json.dumps(obj) + "\n").encode())
+        line = self.reader.readline()
+        if not line:
+            fail(f"{self.label}: daemon closed the connection")
+        reply = json.loads(line)
+        return line.rstrip("\n"), reply
+
+    def must(self, obj):
+        line, reply = self.request(obj)
+        if not reply.get("ok"):
+            fail(f"{self.label}: {obj.get('op')} failed: {line}")
+        return line, reply
+
+    def kill(self):
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait()
+        self.conn.close()
+
+    def shutdown(self):
+        self.must({"op": "shutdown"})
+        self.proc.wait(timeout=30)
+        self.conn.close()
+
+
+def run_rounds(daemon, start, stop, suggestions):
+    """Rounds [start, stop): suggest, synthesize costs, observe."""
+    for round_index in range(start, stop):
+        line, reply = daemon.must({"op": "suggest", "session": "s"})
+        if reply["phase"] == "done":
+            fail(f"{daemon.label}: session done early at round {round_index}")
+        suggestions.append(line)
+        count = len(reply["configs"]) * reply["observations_per_config"]
+        costs = [synthetic_cost(round_index, slot) for slot in range(count)]
+        daemon.must({"op": "observe", "session": "s",
+                     "ticket": reply["ticket"], "costs": costs})
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True,
+                        help="path to the alic_serve executable")
+    parser.add_argument("--workdir", default="serve-smoke",
+                        help="scratch directory (wiped)")
+    args = parser.parse_args()
+    binary = os.path.abspath(args.binary)
+    if not os.path.exists(binary):
+        print(f"serve_smoke: no such binary: {binary}", file=sys.stderr)
+        sys.exit(2)
+
+    shutil.rmtree(args.workdir, ignore_errors=True)
+    os.makedirs(args.workdir)
+    sock = os.path.join(args.workdir, "alic.sock")
+
+    # Reference: one uninterrupted daemon.
+    reference = []
+    daemon = Daemon(binary, sock, os.path.join(args.workdir, "ref"), "ref")
+    daemon.must({"op": "open", "session": "s", "spec": SPEC})
+    run_rounds(daemon, 0, ROUNDS, reference)
+    _, info = daemon.must({"op": "info", "session": "s"})
+    daemon.shutdown()
+    print(f"serve_smoke: reference run served {ROUNDS} rounds "
+          f"({info['observations']} observations)")
+
+    # Kill run: same session, SIGKILL after KILL_AFTER rounds, restart.
+    seen = []
+    daemon = Daemon(binary, sock, os.path.join(args.workdir, "kill"), "kill")
+    daemon.must({"op": "open", "session": "s", "spec": SPEC})
+    run_rounds(daemon, 0, KILL_AFTER, seen)
+    daemon.kill()
+    print(f"serve_smoke: SIGKILLed the daemon after {KILL_AFTER} rounds")
+
+    daemon = Daemon(binary, sock, os.path.join(args.workdir, "kill"),
+                    "restart")
+    _, ping = daemon.must({"op": "ping"})
+    if ping.get("sessions") != 1:
+        fail(f"restart: expected 1 restored session, got {ping}")
+    run_rounds(daemon, KILL_AFTER, ROUNDS, seen)
+    daemon.shutdown()
+
+    if seen != reference:
+        for index, (fresh, ref) in enumerate(zip(seen, reference)):
+            if fresh != ref:
+                fail(f"suggestion {index} diverged after restart:\n"
+                     f"  reference: {ref}\n  resumed:   {fresh}")
+        fail(f"round count diverged: {len(seen)} vs {len(reference)}")
+    print(f"serve_smoke: OK — all {ROUNDS} suggestions byte-identical "
+          f"across SIGKILL + restart")
+    shutil.rmtree(args.workdir, ignore_errors=True)
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
