@@ -167,12 +167,9 @@ int main(int Argc, char **Argv) {
       break;
     }
 
-    if (Fds[0].revents & POLLIN) {
-      int Fd = ::accept(Listener, nullptr, nullptr);
-      if (Fd >= 0)
-        Clients.push_back({Fd, {}});
-    }
-
+    // Service existing clients first: Fds[I+1] <-> Clients[I] holds only
+    // for the clients that existed at poll time, so the accept of any new
+    // connection (which has no pollfd yet) must wait until after this loop.
     for (size_t I = 0; I != Clients.size();) {
       pollfd &P = Fds[I + 1];
       Client &C = Clients[I];
@@ -213,6 +210,12 @@ int main(int Argc, char **Argv) {
       } else {
         ++I;
       }
+    }
+
+    if (Fds[0].revents & POLLIN) {
+      int Fd = ::accept(Listener, nullptr, nullptr);
+      if (Fd >= 0)
+        Clients.push_back({Fd, {}});
     }
   }
 

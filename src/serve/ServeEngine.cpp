@@ -105,6 +105,10 @@ struct ServeEngine::Session {
   std::vector<std::vector<double>> Events;
   double TotalCostSeconds = 0.0;
   unsigned SinceSnapshot = 0;
+  /// Set (under M) by closeSession.  An in-flight call that resolved the
+  /// session just before it left the table sees this after locking M and
+  /// reports the session as unknown instead of mutating a closed one.
+  bool Closed = false;
   std::mutex M;
 };
 
@@ -159,14 +163,14 @@ ServeEngine::datasetFor(const SessionSpec &Spec) {
   return D;
 }
 
-std::unique_ptr<ServeEngine::Session>
+std::shared_ptr<ServeEngine::Session>
 ServeEngine::buildSession(const SessionSpec &Spec, std::string &Err) {
   const std::vector<std::string> &Names = spaptBenchmarkNames();
   if (std::find(Names.begin(), Names.end(), Spec.Benchmark) == Names.end()) {
     Err = "unknown benchmark '" + Spec.Benchmark + "'";
     return nullptr;
   }
-  auto S = std::make_unique<Session>();
+  auto S = std::make_shared<Session>();
   S->Spec = Spec;
   S->Bench = createSpaptBenchmark(Spec.Benchmark);
   S->Data = datasetFor(Spec);
@@ -198,10 +202,11 @@ void ServeEngine::snapshot(const std::string &Id, Session &S) {
   S.SinceSnapshot = 0;
 }
 
-ServeEngine::Session *ServeEngine::find(const std::string &Id) const {
+std::shared_ptr<ServeEngine::Session>
+ServeEngine::find(const std::string &Id) const {
   std::lock_guard<std::mutex> Lock(EngineMutex);
   auto It = Sessions.find(Id);
-  return It == Sessions.end() ? nullptr : It->second.get();
+  return It == Sessions.end() ? nullptr : It->second;
 }
 
 bool ServeEngine::openSession(const std::string &Id, const SessionSpec &Spec,
@@ -215,7 +220,7 @@ bool ServeEngine::openSession(const std::string &Id, const SessionSpec &Spec,
     Err = "session '" + Id + "' already exists";
     return false;
   }
-  std::unique_ptr<Session> S = buildSession(Spec, Err);
+  std::shared_ptr<Session> S = buildSession(Spec, Err);
   if (!S)
     return false;
   snapshot(Id, *S);
@@ -225,12 +230,16 @@ bool ServeEngine::openSession(const std::string &Id, const SessionSpec &Spec,
 
 bool ServeEngine::suggest(const std::string &Id, Suggestion &Out,
                           std::string &Err) {
-  Session *S = find(Id);
+  std::shared_ptr<Session> S = find(Id);
   if (!S) {
     Err = "unknown session '" + Id + "'";
     return false;
   }
   std::lock_guard<std::mutex> Lock(S->M);
+  if (S->Closed) {
+    Err = "unknown session '" + Id + "'";
+    return false;
+  }
   Out = S->Learner->suggest();
   return true;
 }
@@ -238,12 +247,16 @@ bool ServeEngine::suggest(const std::string &Id, Suggestion &Out,
 bool ServeEngine::observe(const std::string &Id, uint64_t Ticket,
                           const std::vector<double> &Costs,
                           std::string &Err) {
-  Session *S = find(Id);
+  std::shared_ptr<Session> S = find(Id);
   if (!S) {
     Err = "unknown session '" + Id + "'";
     return false;
   }
   std::lock_guard<std::mutex> Lock(S->M);
+  if (S->Closed) {
+    Err = "unknown session '" + Id + "'";
+    return false;
+  }
   if (!S->Learner->suggestionOutstanding()) {
     Err = "no suggestion outstanding (call suggest first)";
     return false;
@@ -274,12 +287,16 @@ bool ServeEngine::observe(const std::string &Id, uint64_t Ticket,
 
 bool ServeEngine::evaluate(const std::string &Id, double &Rmse,
                            std::string &Err) {
-  Session *S = find(Id);
+  std::shared_ptr<Session> S = find(Id);
   if (!S) {
     Err = "unknown session '" + Id + "'";
     return false;
   }
   std::lock_guard<std::mutex> Lock(S->M);
+  if (S->Closed) {
+    Err = "unknown session '" + Id + "'";
+    return false;
+  }
   if (!S->Learner->seeded()) {
     Err = "session has no model yet (still exploring)";
     return false;
@@ -301,12 +318,16 @@ bool ServeEngine::evaluate(const std::string &Id, double &Rmse,
 
 bool ServeEngine::sessionInfo(const std::string &Id, SessionInfo &Out,
                               std::string &Err) const {
-  Session *S = find(Id);
+  std::shared_ptr<Session> S = find(Id);
   if (!S) {
     Err = "unknown session '" + Id + "'";
     return false;
   }
   std::lock_guard<std::mutex> Lock(S->M);
+  if (S->Closed) {
+    Err = "unknown session '" + Id + "'";
+    return false;
+  }
   Out.Stats = S->Learner->stats();
   Out.TotalCostSeconds = S->TotalCostSeconds;
   Out.Observes = S->Events.size();
@@ -321,7 +342,7 @@ bool ServeEngine::sessionInfo(const std::string &Id, SessionInfo &Out,
 }
 
 bool ServeEngine::closeSession(const std::string &Id) {
-  std::unique_ptr<Session> Doomed;
+  std::shared_ptr<Session> Doomed;
   {
     std::lock_guard<std::mutex> Lock(EngineMutex);
     auto It = Sessions.find(Id);
@@ -330,9 +351,14 @@ bool ServeEngine::closeSession(const std::string &Id) {
     Doomed = std::move(It->second);
     Sessions.erase(It);
   }
-  // Serialize against any in-flight call that resolved the session just
-  // before it left the table.
-  { std::lock_guard<std::mutex> Lock(Doomed->M); }
+  // Any in-flight call that resolved the session just before it left the
+  // table either finishes before this lock (its snapshot, if any, lands
+  // before the remove below) or sees Closed and bails; the shared_ptr it
+  // holds keeps the Session alive either way.
+  {
+    std::lock_guard<std::mutex> Lock(Doomed->M);
+    Doomed->Closed = true;
+  }
   if (!Opts.StateDir.empty()) {
     std::error_code Ec;
     std::filesystem::remove(snapshotPath(Id), Ec);
@@ -394,7 +420,7 @@ size_t ServeEngine::restoreSessions(size_t *Skipped) {
       if (Sessions.count(Id))
         goto corrupt; // duplicate snapshot for one id
       std::string Err;
-      std::unique_ptr<Session> S = buildSession(Spec, Err);
+      std::shared_ptr<Session> S = buildSession(Spec, Err);
       if (!S)
         goto corrupt;
       // Replay: state is a pure function of (spec, cost sequence), so

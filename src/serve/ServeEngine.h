@@ -30,7 +30,10 @@
 ///
 /// **Thread-safety.**  All public methods are safe to call concurrently
 /// from any number of threads.  The engine holds one mutex over the
-/// session table and one per session; a session's learner additionally
+/// session table and one per session; sessions are reference-counted, so
+/// a closeSession() racing an in-flight call on the same session cannot
+/// destroy state the other thread still holds (the in-flight call simply
+/// observes the session as closed).  A session's learner additionally
 /// fans its internal work out across the shared scheduler (nested
 /// parallelism — safe because inner shards never take session locks).
 ///
@@ -184,17 +187,20 @@ private:
   bool validId(const std::string &Id) const;
   std::string snapshotPath(const std::string &Id) const;
   std::shared_ptr<const Dataset> datasetFor(const SessionSpec &Spec);
-  std::unique_ptr<Session> buildSession(const SessionSpec &Spec,
+  std::shared_ptr<Session> buildSession(const SessionSpec &Spec,
                                         std::string &Err);
   void snapshot(const std::string &Id, Session &S);
-  Session *find(const std::string &Id) const;
+  /// Returns a reference-counted handle copied under EngineMutex, so the
+  /// session outlives any concurrent closeSession(); callers must still
+  /// take the session mutex and re-check its Closed flag.
+  std::shared_ptr<Session> find(const std::string &Id) const;
 
   ServeOptions Opts;
   std::unique_ptr<Scheduler> Sched;
 
   mutable std::mutex EngineMutex;
   /// Ordered so sessionIds() is deterministic.
-  std::map<std::string, std::unique_ptr<Session>> Sessions;
+  std::map<std::string, std::shared_ptr<Session>> Sessions;
   /// In-memory dataset cache keyed by (benchmark, scale, dataset seed);
   /// 10k sessions over one benchmark share one dataset.
   std::map<std::string, std::shared_ptr<const Dataset>> Datasets;

@@ -3,6 +3,7 @@
 #include "support/Json.h"
 
 #include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
@@ -16,7 +17,7 @@ public:
   explicit JsonParser(const char *Text) : P(Text) {}
 
   bool parse(JsonValue &Out) {
-    if (!parseValue(Out))
+    if (!parseValue(Out, 0))
       return false;
     skipWs();
     return *P == '\0';
@@ -66,8 +67,15 @@ private:
     return true;
   }
 
-  bool parseValue(JsonValue &Out) {
+  /// Deepest container nesting accepted.  Our documents nest 2-3 levels;
+  /// the cap keeps a hostile socket line of 4 MiB of '[' from recursing
+  /// the stack away.
+  static constexpr unsigned MaxDepth = 64;
+
+  bool parseValue(JsonValue &Out, unsigned Depth) {
     skipWs();
+    if (Depth >= MaxDepth)
+      return false;
     if (*P == '{') {
       ++P;
       Out.K = JsonValue::Kind::Object;
@@ -86,7 +94,7 @@ private:
           return false;
         ++P;
         JsonValue Value;
-        if (!parseValue(Value))
+        if (!parseValue(Value, Depth + 1))
           return false;
         Out.Fields.emplace_back(std::move(Key), std::move(Value));
         skipWs();
@@ -111,7 +119,7 @@ private:
       }
       while (true) {
         JsonValue Item;
-        if (!parseValue(Item))
+        if (!parseValue(Item, Depth + 1))
           return false;
         Out.Items.push_back(std::move(Item));
         skipWs();
@@ -141,13 +149,46 @@ private:
     }
     if (literal("null"))
       return true;
+    // Strict JSON number grammar: -?(0|[1-9][0-9]*)(.[0-9]+)?([eE][+-]?
+    // [0-9]+)?.  strtod alone also accepts "nan", "inf"/"infinity", and
+    // hex floats, none of which are JSON — scan the token shape first so
+    // a hostile line cannot smuggle non-finite costs into the model.
+    const char *Q = P;
+    if (*Q == '-')
+      ++Q;
+    if (*Q == '0') {
+      ++Q;
+    } else if (*Q >= '1' && *Q <= '9') {
+      while (*Q >= '0' && *Q <= '9')
+        ++Q;
+    } else {
+      return false;
+    }
+    if (*Q == '.') {
+      ++Q;
+      if (*Q < '0' || *Q > '9')
+        return false;
+      while (*Q >= '0' && *Q <= '9')
+        ++Q;
+    }
+    if (*Q == 'e' || *Q == 'E') {
+      ++Q;
+      if (*Q == '+' || *Q == '-')
+        ++Q;
+      if (*Q < '0' || *Q > '9')
+        return false;
+      while (*Q >= '0' && *Q <= '9')
+        ++Q;
+    }
     char *End = nullptr;
     double Number = std::strtod(P, &End);
-    if (End == P)
+    // End != Q would mean strtod read past the JSON token (e.g. "0x12");
+    // overflow ("1e999") yields infinity, equally unrepresentable.
+    if (End != Q || !std::isfinite(Number))
       return false;
     Out.K = JsonValue::Kind::Number;
     Out.Number = Number;
-    P = End;
+    P = Q;
     return true;
   }
 
@@ -161,6 +202,10 @@ bool alic::parseJson(const char *Text, JsonValue &Out) {
 }
 
 std::string alic::formatJsonDouble(double Value) {
+  // JSON has no non-finite numbers; emit null (as JSON.stringify does)
+  // rather than a bare nan/inf token that breaks the whole document.
+  if (!std::isfinite(Value))
+    return "null";
   char Buffer[64];
   auto [Ptr, Ec] = std::to_chars(Buffer, Buffer + sizeof(Buffer), Value);
   if (Ec != std::errc())

@@ -14,10 +14,13 @@
 /// checkpointed values survive a serialize/parse round trip exactly.
 ///
 /// This is deliberately not a general JSON library: no streaming, no
-/// \\uXXXX escapes (none of our producers emit them), no number formats
-/// beyond strtod's.  Both of our surfaces are machine-to-machine lines we
-/// also produce, so strictness is a feature — anything unparsable is a
-/// crash remnant or a protocol error, and the caller skips or rejects it.
+/// \\uXXXX escapes (none of our producers emit them), numbers restricted
+/// to the JSON grammar with finite values, and container nesting capped
+/// (the wire surface reads untrusted sockets, so unbounded recursion or
+/// smuggled NaN/Infinity costs must die at the parser).  Both of our
+/// surfaces are machine-to-machine lines we also produce, so strictness
+/// is a feature — anything unparsable is a crash remnant or a protocol
+/// error, and the caller skips or rejects it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -58,12 +61,15 @@ struct JsonValue {
 };
 
 /// Parses the whole of \p Text as one JSON document into \p Out.  Returns
-/// false on any syntax error or trailing garbage (whitespace excepted).
+/// false on any syntax error or trailing garbage (whitespace excepted),
+/// on numbers outside the JSON grammar or non-finite after conversion
+/// (nan/inf/hex floats), and on container nesting deeper than 64 levels.
 bool parseJson(const char *Text, JsonValue &Out);
 
 /// Shortest decimal rendering of \p Value that strtod parses back to the
 /// same IEEE-754 bits (std::to_chars), so doubles written to a ledger or
-/// a wire line round-trip exactly.
+/// a wire line round-trip exactly.  Non-finite input renders as "null"
+/// (valid JSON, unlike a bare nan/inf token).
 std::string formatJsonDouble(double Value);
 
 /// Escapes \p Text for embedding inside a JSON string literal (quotes not

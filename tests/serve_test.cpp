@@ -17,9 +17,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 using namespace alic;
 
@@ -311,6 +313,42 @@ TEST(ServeEngineTest, ErrorPaths) {
   EXPECT_FALSE(Engine.evaluate("s", Rmse, Err));
 
   EXPECT_TRUE(Engine.closeSession("s"));
+  EXPECT_EQ(Engine.sessionCount(), 0u);
+}
+
+// closeSession racing in-flight calls on the same session: the callers
+// hold a reference-counted handle, so under ASan/TSan this pins that no
+// call ever touches a destroyed session (failed "unknown session" replies
+// are the expected outcome, crashes and races are not).
+TEST(ServeEngineTest, CloseRacingInFlightCallsIsSafe) {
+  ServeEngine Engine(engineOptions("", 0));
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Hammers;
+  for (int T = 0; T != 2; ++T)
+    Hammers.emplace_back([&Engine, &Stop] {
+      while (!Stop.load(std::memory_order_relaxed)) {
+        Suggestion S;
+        SessionInfo Info;
+        std::string Err;
+        if (Engine.suggest("raced", S, Err) &&
+            S.Phase != SuggestPhase::Done)
+          Engine.observe("raced", S.Ticket,
+                         std::vector<double>(S.Configs.size() *
+                                                 S.ObservationsPerConfig,
+                                             0.5),
+                         Err);
+        Engine.sessionInfo("raced", Info, Err);
+      }
+    });
+  std::string Err;
+  for (int Round = 0; Round != 50; ++Round) {
+    ASSERT_TRUE(Engine.openSession("raced", tinySpec(Round + 1), Err))
+        << Err;
+    EXPECT_TRUE(Engine.closeSession("raced"));
+  }
+  Stop = true;
+  for (std::thread &H : Hammers)
+    H.join();
   EXPECT_EQ(Engine.sessionCount(), 0u);
 }
 

@@ -4,6 +4,7 @@
 #include "support/Env.h"
 #include "support/FlatRows.h"
 #include "support/Format.h"
+#include "support/Json.h"
 #include "support/Rng.h"
 #include "support/Serialize.h"
 #include "support/Scheduler.h"
@@ -547,4 +548,49 @@ TEST(SerializeTest, AtomicFileRoundTrip) {
   EXPECT_DOUBLE_EQ(D, 2.5);
   EXPECT_TRUE(R.atEnd());
   std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Json hardening (untrusted socket input reaches this parser)
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTest, NestingDepthIsCapped) {
+  // A hostile line of nested containers must fail cleanly, not overflow
+  // the parser's stack.
+  std::string Deep(100000, '[');
+  JsonValue Out;
+  EXPECT_FALSE(parseJson(Deep.c_str(), Out));
+  std::string DeepObjects;
+  for (int I = 0; I != 100000; ++I)
+    DeepObjects += "{\"k\":";
+  EXPECT_FALSE(parseJson(DeepObjects.c_str(), Out));
+  // Shallow documents (our surfaces nest 2-3 levels) still parse.
+  EXPECT_TRUE(parseJson("[[[[[1]]]]]", Out));
+}
+
+TEST(JsonTest, NumbersFollowJsonGrammarAndStayFinite) {
+  JsonValue Out;
+  for (const char *Bad :
+       {"nan", "NaN", "inf", "Infinity", "-inf", "0x12", "1e999", "-1e999",
+        "01", "+1", ".5", "1.", "1e", "1e+", "--1"})
+    EXPECT_FALSE(parseJson(Bad, Out)) << Bad;
+  for (const char *Good : {"0", "-0", "12", "-3.5", "1e9", "2.5E-3", "1e+2"})
+    EXPECT_TRUE(parseJson(Good, Out)) << Good;
+  EXPECT_TRUE(parseJson("6.25e-2", Out));
+  EXPECT_EQ(Out.K, JsonValue::Kind::Number);
+  EXPECT_DOUBLE_EQ(Out.Number, 0.0625);
+  // ...including inside containers (the observe costs path).
+  EXPECT_FALSE(parseJson("{\"costs\":[nan]}", Out));
+  EXPECT_FALSE(parseJson("{\"costs\":[1e999]}", Out));
+}
+
+TEST(JsonTest, FormatJsonDoubleNeverEmitsInvalidTokens) {
+  EXPECT_EQ(formatJsonDouble(std::nan("")), "null");
+  EXPECT_EQ(formatJsonDouble(HUGE_VAL), "null");
+  EXPECT_EQ(formatJsonDouble(-HUGE_VAL), "null");
+  // Finite values still round-trip bit-exactly.
+  double Value = 0.1 + 0.2;
+  JsonValue Out;
+  ASSERT_TRUE(parseJson(formatJsonDouble(Value).c_str(), Out));
+  EXPECT_EQ(Out.Number, Value);
 }
