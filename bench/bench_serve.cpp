@@ -22,6 +22,7 @@
 
 #include "BenchCommon.h"
 #include "serve/ServeEngine.h"
+#include "support/FailPoint.h"
 #include "support/Rng.h"
 
 #include <chrono>
@@ -142,11 +143,38 @@ ServeRow measureServe(const std::string &Label, size_t Sessions,
   return Row;
 }
 
+/// Guards the failpoint contract that lets the sites live on hot paths:
+/// a *disarmed* ALIC_FAILPOINT is one relaxed atomic load.  Times 100M
+/// evaluations and fails the bench (nonzero exit) if the per-evaluation
+/// cost rises above noise — 25 ns/op is ~10x the expected cost, loose
+/// enough for shared CI runners, tight enough to catch an accidental
+/// lock or map lookup on the disabled path.
+double checkDisarmedFailpointOverhead() {
+  constexpr size_t Evaluations = 100'000'000;
+  constexpr double MaxNsPerOp = 25.0;
+  size_t Fired = 0;
+  auto Start = std::chrono::steady_clock::now();
+  for (size_t I = 0; I != Evaluations; ++I)
+    Fired += ALIC_FAILPOINT("bench.serve.disarmed").Fire;
+  double NsPerOp = secondsSince(Start) * 1e9 / double(Evaluations);
+  if (Fired != 0)
+    fatalError("disarmed failpoint fired %zu time(s)", Fired);
+  std::printf("failpoint check: %zuM disarmed evaluations, %.2f ns/op\n",
+              Evaluations / 1000000, NsPerOp);
+  if (NsPerOp > MaxNsPerOp)
+    fatalError("disarmed failpoint costs %.2f ns/op (budget %.0f) — the "
+               "disabled fast path regressed",
+               NsPerOp, MaxNsPerOp);
+  return NsPerOp;
+}
+
 } // namespace
 
 int main() {
   printScaleBanner("bench_serve: session-multiplexed suggest/observe "
                    "throughput");
+
+  double FailpointNs = checkDisarmedFailpointOverhead();
 
   // 1 explore + 5 refine exchanges per session.
   constexpr size_t Rounds = 6;
@@ -178,6 +206,9 @@ int main() {
   std::FILE *Json = std::fopen("BENCH_serve.json", "w");
   if (Json) {
     std::fprintf(Json, "{\n  \"schema\": \"alic-serve-v1\",\n");
+    // Wall-clock derived, informational only (the gate skips it); the
+    // hard budget is enforced above with a nonzero exit.
+    std::fprintf(Json, "  \"failpoint_check_ns\": %.2f,\n", FailpointNs);
     std::fprintf(Json, "  \"rounds\": %zu,\n  \"rows\": [\n", Rounds);
     for (size_t I = 0; I != Rows.size(); ++I) {
       const ServeRow &Row = Rows[I];

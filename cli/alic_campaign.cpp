@@ -37,6 +37,11 @@ namespace {
 /// Exit code when --max-cells interrupted the campaign before completion.
 constexpr int ExitIncomplete = 75; // EX_TEMPFAIL: retry (resume) later
 
+/// Exit code when ledger I/O failures quarantined cells (EX_IOERR).  The
+/// campaign finished every other cell; re-running the same command
+/// retries exactly the quarantined ones.
+constexpr int ExitQuarantined = 74;
+
 std::vector<std::string> splitList(const std::string &Csv) {
   std::vector<std::string> Parts;
   size_t Pos = 0;
@@ -210,6 +215,19 @@ int main(int argc, char **argv) {
                 (unsigned long long)Progress.TasksExecuted, Progress.NewlyRun,
                 (unsigned long long)Progress.Steals,
                 Options.NestCells ? "" : " [flat cells]");
+  if (!Progress.QuarantinedCells.empty()) {
+    std::fprintf(stderr,
+                 "campaign: %zu cell(s) quarantined by ledger I/O "
+                 "failures:\n",
+                 Progress.QuarantinedCells.size());
+    for (const std::string &Key : Progress.QuarantinedCells)
+      std::fprintf(stderr, "  quarantined: %s\n", Key.c_str());
+    std::fprintf(stderr,
+                 "re-run the same command to retry exactly these cells "
+                 "against %s\n",
+                 Options.ledgerPath().c_str());
+    return ExitQuarantined;
+  }
   if (!Progress.Complete) {
     std::printf("campaign interrupted by --max-cells; re-run the same "
                 "command to resume from %s\n",

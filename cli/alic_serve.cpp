@@ -16,20 +16,34 @@
 // daemon replays every snapshot and resumes each session exactly where it
 // stood (SIGKILL-safe — serve_test and tools/serve_smoke.py pin this).
 //
+// The event loop is hardened against hostile and unlucky clients alike:
+// all sockets are nonblocking, replies queue in a bounded per-client
+// out-buffer drained via POLLOUT (a stalled reader is disconnected rather
+// than wedging the daemon), idle connections time out, oversized requests
+// are answered with an error and dropped, and EMFILE-style accept
+// failures back off instead of spinning.  SIGTERM/SIGINT (and the
+// `shutdown` op) trigger a graceful drain: stop accepting, answer every
+// in-flight request, snapshot all sessions, exit 0.  The `serve.accept` /
+// `serve.recv` / `serve.send` failpoints (support/FailPoint.h) inject
+// faults into each syscall site for the chaos tests.
+//
 //===----------------------------------------------------------------------===//
 
 #include "serve/ServeEngine.h"
 #include "serve/Wire.h"
+#include "support/FailPoint.h"
 
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -53,7 +67,15 @@ namespace {
       "  --threads=N|auto      scheduler workers shared by all sessions\n"
       "                        (auto = hardware concurrency; default 0 =\n"
       "                        inline, bit-identical either way)\n"
-      "  --checkpoint-every=K  snapshot every K-th observe (default 1)\n",
+      "  --checkpoint-every=K  snapshot every K-th observe (default 1)\n"
+      "  --idle-timeout-ms=T   disconnect clients idle for T ms\n"
+      "                        (default 60000; 0 disables)\n"
+      "  --max-request-bytes=N error+disconnect on a request line over N\n"
+      "                        bytes (default 4194304)\n"
+      "  --max-send-buffer=N   disconnect a client whose unread replies\n"
+      "                        exceed N bytes (default 4194304)\n"
+      "  --drain-timeout-ms=T  bound on the graceful SIGTERM/shutdown\n"
+      "                        drain (default 5000)\n",
       Binary);
   std::exit(2);
 }
@@ -66,25 +88,60 @@ bool parseFlag(const char *Arg, const char *Name, std::string &Value) {
   return true;
 }
 
-/// One connected client: a socket plus its partial-line input buffer.
+/// One connected client: a nonblocking socket, its partial-line input
+/// buffer, queued-but-unsent replies, and an idle-timeout deadline base.
 struct Client {
   int Fd = -1;
   std::string Pending;
+  std::string Out;
+  uint64_t LastActivityMs = 0;
+  /// Close once Out drains (oversized request answered with an error).
+  bool CloseAfterFlush = false;
 };
 
-bool sendAll(int Fd, const std::string &Data) {
-  size_t Sent = 0;
-  while (Sent < Data.size()) {
-    ssize_t N = ::send(Fd, Data.data() + Sent, Data.size() - Sent,
+/// Monotonic milliseconds (never wall clock: immune to NTP steps).
+uint64_t nowMs() {
+  timespec Ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return uint64_t(Ts.tv_sec) * 1000 + uint64_t(Ts.tv_nsec) / 1000000;
+}
+
+void setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags >= 0)
+    ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+}
+
+volatile std::sig_atomic_t GotSignal = 0;
+void onSignal(int) { GotSignal = 1; }
+
+/// Pushes as much of C.Out into the kernel as it will take.  Returns
+/// false when the client must be dropped (peer gone, or a non-transient
+/// send error); leftover bytes wait for POLLOUT.
+bool flushClient(Client &C) {
+  while (!C.Out.empty()) {
+    FailOutcome F = ALIC_FAILPOINT("serve.send");
+    ssize_t N;
+    if (F.Fire) {
+      N = -1;
+      errno = F.Errno;
+    } else {
+      N = ::send(C.Fd, C.Out.data(), C.Out.size(),
 #ifdef MSG_NOSIGNAL
-                       MSG_NOSIGNAL
+                 MSG_NOSIGNAL
 #else
-                       0
+                 0
 #endif
-    );
+      );
+    }
+    if (N < 0 && errno == EINTR)
+      continue; // transient: retry, never disconnect
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return true; // kernel buffer full: wait for POLLOUT
     if (N <= 0)
       return false;
-    Sent += size_t(N);
+    C.Out.erase(0, size_t(N));
+    C.LastActivityMs = nowMs();
   }
   return true;
 }
@@ -96,13 +153,21 @@ int main(int Argc, char **Argv) {
   std::string StateDir = "alic-serve-state";
   std::string Threads = "0";
   std::string CheckpointEvery = "1";
+  std::string IdleTimeout = "60000";
+  std::string MaxRequest = "4194304";
+  std::string MaxSendBuffer = "4194304";
+  std::string DrainTimeout = "5000";
 
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
     if (parseFlag(Arg, "--socket", SocketPath) ||
         parseFlag(Arg, "--state-dir", StateDir) ||
         parseFlag(Arg, "--threads", Threads) ||
-        parseFlag(Arg, "--checkpoint-every", CheckpointEvery))
+        parseFlag(Arg, "--checkpoint-every", CheckpointEvery) ||
+        parseFlag(Arg, "--idle-timeout-ms", IdleTimeout) ||
+        parseFlag(Arg, "--max-request-bytes", MaxRequest) ||
+        parseFlag(Arg, "--max-send-buffer", MaxSendBuffer) ||
+        parseFlag(Arg, "--drain-timeout-ms", DrainTimeout))
       continue;
     usage(Argv[0], (std::string("unknown argument ") + Arg).c_str());
   }
@@ -116,6 +181,13 @@ int main(int Argc, char **Argv) {
                      : unsigned(std::strtoul(Threads.c_str(), nullptr, 10));
   Opts.CheckpointEveryObserves =
       unsigned(std::strtoul(CheckpointEvery.c_str(), nullptr, 10));
+  const uint64_t IdleTimeoutMs = std::strtoull(IdleTimeout.c_str(), nullptr, 10);
+  const size_t MaxRequestBytes =
+      size_t(std::strtoull(MaxRequest.c_str(), nullptr, 10));
+  const size_t MaxSendBufferBytes =
+      size_t(std::strtoull(MaxSendBuffer.c_str(), nullptr, 10));
+  const uint64_t DrainTimeoutMs =
+      std::strtoull(DrainTimeout.c_str(), nullptr, 10);
 
   ServeEngine Engine(Opts);
   size_t Skipped = 0;
@@ -127,6 +199,8 @@ int main(int Argc, char **Argv) {
   // Bind the listening socket.  A stale path from a killed daemon is
   // unlinked first — session state lives in --state-dir, not the socket.
   ::signal(SIGPIPE, SIG_IGN);
+  ::signal(SIGTERM, onSignal);
+  ::signal(SIGINT, onSignal);
   int Listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Listener < 0) {
     std::perror("alic_serve: socket");
@@ -148,80 +222,224 @@ int main(int Argc, char **Argv) {
     std::perror("alic_serve: bind/listen");
     return 1;
   }
+  setNonBlocking(Listener);
 
   // The line scripts wait for before connecting.
   std::printf("READY %s\n", SocketPath.c_str());
   std::fflush(stdout);
 
   std::vector<Client> Clients;
-  bool Shutdown = false;
-  while (!Shutdown) {
+  bool Draining = false;
+  uint64_t DrainDeadlineMs = 0;
+  uint64_t AcceptBackoffUntilMs = 0;
+
+  // Stop accepting, finish in-flight work, then exit through the
+  // post-loop snapshotAll.
+  auto StartDrain = [&] {
+    if (Draining)
+      return;
+    Draining = true;
+    DrainDeadlineMs = nowMs() + DrainTimeoutMs;
+    if (Listener >= 0) {
+      ::close(Listener);
+      Listener = -1;
+    }
+  };
+
+  while (true) {
+    if (GotSignal)
+      StartDrain();
+    uint64_t Now = nowMs();
+
+    if (Draining) {
+      // A client is "settled" once every queued reply is flushed and no
+      // complete request is waiting; settled clients are released so the
+      // drain can finish before the deadline.
+      for (size_t I = 0; I != Clients.size();) {
+        Client &C = Clients[I];
+        if (C.Out.empty() && C.Pending.find('\n') == std::string::npos) {
+          ::close(C.Fd);
+          Clients[I] = std::move(Clients.back());
+          Clients.pop_back();
+        } else {
+          ++I;
+        }
+      }
+      if (Clients.empty() || Now >= DrainDeadlineMs)
+        break;
+    }
+
     std::vector<pollfd> Fds;
-    Fds.push_back({Listener, POLLIN, 0});
+    if (Listener >= 0)
+      Fds.push_back({Listener,
+                     short(Now < AcceptBackoffUntilMs ? 0 : POLLIN), 0});
+    size_t FirstClient = Fds.size();
     for (const Client &C : Clients)
-      Fds.push_back({C.Fd, POLLIN, 0});
-    if (::poll(Fds.data(), nfds_t(Fds.size()), -1) < 0) {
+      Fds.push_back({C.Fd, short(POLLIN | (C.Out.empty() ? 0 : POLLOUT)), 0});
+
+    // Poll timeout: the nearest of the idle deadlines, the accept-backoff
+    // end, and the drain grace round; -1 (block) with none pending.
+    int TimeoutMs = -1;
+    auto Consider = [&](uint64_t DeadlineMs) {
+      uint64_t Wait = DeadlineMs > Now ? DeadlineMs - Now : 0;
+      int W = Wait > 60000 ? 60000 : int(Wait);
+      if (TimeoutMs < 0 || W < TimeoutMs)
+        TimeoutMs = W;
+    };
+    if (IdleTimeoutMs > 0)
+      for (const Client &C : Clients)
+        Consider(C.LastActivityMs + IdleTimeoutMs);
+    if (Now < AcceptBackoffUntilMs)
+      Consider(AcceptBackoffUntilMs);
+    if (Draining)
+      Consider(Now + 200 < DrainDeadlineMs ? Now + 200 : DrainDeadlineMs);
+
+    if (::poll(Fds.data(), nfds_t(Fds.size()), TimeoutMs) < 0) {
       if (errno == EINTR)
-        continue;
+        continue; // likely SIGTERM: the loop top starts the drain
       std::perror("alic_serve: poll");
       break;
     }
+    Now = nowMs();
 
-    // Service existing clients first: Fds[I+1] <-> Clients[I] holds only
-    // for the clients that existed at poll time, so the accept of any new
-    // connection (which has no pollfd yet) must wait until after this loop.
+    // Service existing clients first: Fds[FirstClient+I] <-> Clients[I]
+    // holds only for the clients that existed at poll time, so the accept
+    // of any new connection (with no pollfd yet) waits until after this.
     for (size_t I = 0; I != Clients.size();) {
-      pollfd &P = Fds[I + 1];
+      pollfd &P = Fds[FirstClient + I];
       Client &C = Clients[I];
       bool Drop = false;
-      if (P.revents & (POLLIN | POLLHUP | POLLERR)) {
-        char Buffer[1 << 16];
-        ssize_t N = ::recv(C.Fd, Buffer, sizeof(Buffer), 0);
-        if (N <= 0) {
-          Drop = true;
-        } else {
-          C.Pending.append(Buffer, size_t(N));
-          size_t Pos = 0, Eol;
-          while (!Drop && (Eol = C.Pending.find('\n', Pos)) !=
-                              std::string::npos) {
-            std::string Line = C.Pending.substr(Pos, Eol - Pos);
-            Pos = Eol + 1;
-            if (Line.empty())
-              continue;
-            std::string Reply;
-            Shutdown |= handleRequestLine(Engine, Line, Reply);
-            Reply += "\n";
-            if (!sendAll(C.Fd, Reply))
-              Drop = true;
+
+      if (P.revents & POLLOUT)
+        Drop = !flushClient(C);
+
+      if (!Drop && (P.revents & (POLLIN | POLLHUP | POLLERR))) {
+        // Drain the socket to EAGAIN; transient errors retry instead of
+        // disconnecting (the serve.recv failpoint injects them).
+        while (!Drop) {
+          char Buffer[1 << 16];
+          FailOutcome F = ALIC_FAILPOINT("serve.recv");
+          ssize_t N;
+          if (F.Fire) {
+            N = -1;
+            errno = F.Errno;
+          } else {
+            N = ::recv(C.Fd, Buffer, sizeof(Buffer), 0);
           }
-          C.Pending.erase(0, Pos);
-          // An unbounded line with no newline is a protocol violation.
-          if (C.Pending.size() > (1u << 22))
-            Drop = true;
+          if (N < 0 && errno == EINTR)
+            continue;
+          if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+          if (N <= 0) {
+            Drop = true; // peer closed (0) or hard error
+            break;
+          }
+          C.Pending.append(Buffer, size_t(N));
+          C.LastActivityMs = Now;
+          if (size_t(N) < sizeof(Buffer))
+            break; // short read: the socket is drained
+        }
+
+        size_t Pos = 0, Eol;
+        while (!Drop && !C.CloseAfterFlush &&
+               (Eol = C.Pending.find('\n', Pos)) != std::string::npos) {
+          std::string Line = C.Pending.substr(Pos, Eol - Pos);
+          Pos = Eol + 1;
+          if (Line.empty())
+            continue;
+          if (Line.size() > MaxRequestBytes) {
+            C.Out += "{\"ok\":false,\"error\":\"request exceeds " +
+                     std::to_string(MaxRequestBytes) + " bytes\"}\n";
+            C.CloseAfterFlush = true;
+            break;
+          }
+          std::string Reply;
+          if (handleRequestLine(Engine, Line, Reply))
+            StartDrain();
+          C.Out += Reply;
+          C.Out += "\n";
+        }
+        C.Pending.erase(0, Pos);
+        // A growing line with no newline is the same protocol violation,
+        // caught before the buffer balloons.
+        if (!Drop && !C.CloseAfterFlush && C.Pending.size() > MaxRequestBytes) {
+          C.Out += "{\"ok\":false,\"error\":\"request exceeds " +
+                   std::to_string(MaxRequestBytes) + " bytes\"}\n";
+          C.CloseAfterFlush = true;
         }
       }
+
+      if (!Drop && !C.Out.empty())
+        Drop = !flushClient(C);
+      // A reader that cannot keep up with its own replies is disconnected
+      // rather than growing an unbounded buffer.
+      if (!Drop && C.Out.size() > MaxSendBufferBytes)
+        Drop = true;
+      if (!Drop && C.CloseAfterFlush && C.Out.empty())
+        Drop = true;
+      if (!Drop && IdleTimeoutMs > 0 &&
+          Now >= C.LastActivityMs + IdleTimeoutMs)
+        Drop = true;
+
       if (Drop) {
-        // Keep Fds[I+1] <-> Clients[I] aligned across the removal.
         ::close(C.Fd);
         Clients[I] = std::move(Clients.back());
         Clients.pop_back();
-        Fds[I + 1] = Fds.back();
+        Fds[FirstClient + I] = Fds.back();
         Fds.pop_back();
       } else {
         ++I;
       }
     }
 
-    if (Fds[0].revents & POLLIN) {
-      int Fd = ::accept(Listener, nullptr, nullptr);
-      if (Fd >= 0)
-        Clients.push_back({Fd, {}});
+    if (Listener >= 0 && (Fds[0].revents & POLLIN)) {
+      while (true) {
+        FailOutcome F = ALIC_FAILPOINT("serve.accept");
+        int Fd;
+        if (F.Fire) {
+          Fd = -1;
+          errno = F.Errno;
+        } else {
+          Fd = ::accept(Listener, nullptr, nullptr);
+        }
+        if (Fd >= 0) {
+          setNonBlocking(Fd);
+          Clients.push_back({Fd, {}, {}, nowMs(), false});
+          continue;
+        }
+        if (errno == EINTR)
+          continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK ||
+            errno == ECONNABORTED)
+          break;
+        if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+            errno == ENOMEM) {
+          // Out of descriptors/buffers: back off instead of spinning on a
+          // level-triggered POLLIN we cannot service.
+          AcceptBackoffUntilMs = nowMs() + 100;
+          std::fprintf(stderr,
+                       "alic_serve: accept: %s; backing off 100ms\n",
+                       std::strerror(errno));
+          break;
+        }
+        std::perror("alic_serve: accept");
+        break;
+      }
     }
   }
 
+  // Graceful exit: every session snapshot is brought current, whatever
+  // the checkpoint cadence, so a drained daemon never loses observations.
+  size_t Sessions = Engine.sessionCount();
+  size_t Clean = Engine.snapshotAll();
+  if (Sessions)
+    std::fprintf(stderr, "alic_serve: drained; %zu/%zu session(s) snapshotted\n",
+                 Clean, Sessions);
+
   for (const Client &C : Clients)
     ::close(C.Fd);
-  ::close(Listener);
+  if (Listener >= 0)
+    ::close(Listener);
   ::unlink(SocketPath.c_str());
   return 0;
 }

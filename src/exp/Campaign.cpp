@@ -8,16 +8,20 @@
 #include "stats/Metrics.h"
 #include "stats/OnlineStats.h"
 #include "support/Error.h"
+#include "support/FailPoint.h"
 #include "support/Format.h"
 #include "support/Json.h"
 #include "support/Scheduler.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unistd.h>
 #include <unordered_map>
 #include <unordered_set>
@@ -336,6 +340,68 @@ void forEachIndex(Scheduler *Pool, size_t N,
   Pool->parallelFor(N, Fn);
 }
 
+//===----------------------------------------------------------------------===//
+// Durable ledger appends (degrade, never abort)
+//===----------------------------------------------------------------------===//
+
+/// Append attempts per cell before quarantining it; retry r sleeps
+/// 2^(r-1) milliseconds first (1+2+4 ms total) — long enough to ride out
+/// a transient EINTR/EIO blip, short enough that a truly full disk
+/// quarantines a 275-cell campaign in about a second.
+constexpr int LedgerAppendAttempts = 4;
+
+/// One append attempt: write \p Line, flush, fsync.  \p Seal prefixes a
+/// newline — a previous attempt may have torn mid-line, and gluing this
+/// record onto the remnant would lose both; the sealed remnant parses as
+/// garbage and is skipped on resume.  Fault-injection sites:
+/// `ledger.append` (error / torn / crash before the write) and
+/// `ledger.sync` (error / crash at the fsync — data flushed, durability
+/// unknown, exactly the window a power loss hits).
+Status tryAppendLine(std::FILE *Out, const std::string &Path,
+                     const std::string &Line, bool Seal) {
+  std::clearerr(Out);
+  FailOutcome F = ALIC_FAILPOINT("ledger.append");
+  if (F.Fire) {
+    if (F.Mode == FailMode::Torn && F.TornBytes > 0) {
+      std::fwrite(Line.data(), 1, std::min(F.TornBytes, Line.size()), Out);
+      std::fflush(Out);
+    }
+    return Status::failure("append to " + Path + " (injected)", F.Errno);
+  }
+  if (Seal && std::fputc('\n', Out) == EOF)
+    return Status::failure("append to " + Path, errno);
+  if (std::fwrite(Line.data(), 1, Line.size(), Out) != Line.size() ||
+      std::fflush(Out) != 0)
+    return Status::failure("append to " + Path, errno);
+  FailOutcome FS = ALIC_FAILPOINT("ledger.sync");
+  if (FS.Fire)
+    return Status::failure("fsync " + Path + " (injected)", FS.Errno);
+  if (fsync(fileno(Out)) != 0)
+    return Status::failure("fsync " + Path, errno);
+  return Status::success();
+}
+
+/// \p NeedSeal carries torn-remnant state *across cells*: it enters true
+/// when any earlier append of this run failed (its bytes may sit
+/// mid-line), forces a seal on the first attempt too, and leaves true
+/// when this append is given up on.
+Status appendLineWithRetry(std::FILE *Out, const std::string &Path,
+                           const std::string &Line, bool &NeedSeal) {
+  Status St;
+  for (int Attempt = 0; Attempt != LedgerAppendAttempts; ++Attempt) {
+    if (Attempt)
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(1u << (Attempt - 1)));
+    St = tryAppendLine(Out, Path, Line, /*Seal=*/NeedSeal || Attempt != 0);
+    if (St.ok()) {
+      NeedSeal = false;
+      return St;
+    }
+  }
+  NeedSeal = true;
+  return St;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -347,11 +413,31 @@ CampaignProgress alic::runCampaignCells(const CampaignSpec &Spec,
   std::vector<CampaignCell> Cells = expandCells(Spec);
   CampaignProgress Progress;
 
+  // Quarantines every still-missing cell: nothing was lost (the cells are
+  // simply not in the ledger), a re-launch retries exactly them.
+  auto QuarantineAll = [&Progress](const CampaignSpec &S,
+                                   const std::vector<const CampaignCell *>
+                                       &Cells) {
+    for (const CampaignCell *Cell : Cells)
+      Progress.QuarantinedCells.push_back(Cell->key(S));
+  };
+
   std::error_code Ec;
   std::filesystem::create_directories(Options.StateDir, Ec);
-  if (Ec)
-    fatalError("cannot create campaign state dir %s: %s",
-               Options.StateDir.c_str(), Ec.message().c_str());
+  if (Ec) {
+    std::fprintf(stderr,
+                 "campaign: cannot create state dir %s: %s — quarantining "
+                 "all missing cells\n",
+                 Options.StateDir.c_str(), Ec.message().c_str());
+    std::vector<const CampaignCell *> All;
+    std::unordered_set<std::string> SeenKeys;
+    for (const CampaignCell &Cell : Cells)
+      if (SeenKeys.insert(Cell.key(Spec)).second)
+        All.push_back(&Cell);
+    Progress.TotalCells = All.size();
+    QuarantineAll(Spec, All);
+    return Progress;
+  }
 
   std::unordered_map<std::string, CellResult> Ledger =
       loadLedger(Options.ledgerPath());
@@ -419,9 +505,14 @@ CampaignProgress alic::runCampaignCells(const CampaignSpec &Spec,
   }
 
   std::FILE *Out = std::fopen(Options.ledgerPath().c_str(), "ab");
-  if (!Out)
-    fatalError("cannot open campaign ledger %s for append",
-               Options.ledgerPath().c_str());
+  if (!Out) {
+    std::fprintf(stderr,
+                 "campaign: cannot open ledger %s for append: %s — "
+                 "quarantining all missing cells\n",
+                 Options.ledgerPath().c_str(), std::strerror(errno));
+    QuarantineAll(Spec, Missing);
+    return Progress;
+  }
   // A crash can leave a partial trailing line with no newline; appending
   // straight after it would glue the next record onto the remnant and
   // lose both.  Seal the remnant into its own (skippable) line first.
@@ -438,7 +529,8 @@ CampaignProgress alic::runCampaignCells(const CampaignSpec &Spec,
   }
 
   std::mutex WriteMutex;
-  size_t Completed = 0;
+  size_t Completed = 0, Appended = 0;
+  bool NeedSeal = false; // a failed append may have left a torn remnant
   forEachIndex(Pool.get(), Missing.size(), [&](size_t I) {
     const CampaignCell &Cell = *Missing[I];
     CellResult Result =
@@ -451,17 +543,24 @@ CampaignProgress alic::runCampaignCells(const CampaignSpec &Spec,
 
     std::lock_guard<std::mutex> Lock(WriteMutex);
     // One flushed + synced write per cell: a crash loses at most the
-    // in-flight line, which the parser skips on resume.
-    if (std::fwrite(Line.data(), 1, Line.size(), Out) != Line.size() ||
-        std::fflush(Out) != 0)
-      fatalError("short write to campaign ledger %s",
-                 Options.ledgerPath().c_str());
-    fsync(fileno(Out));
+    // in-flight line, which the parser skips on resume.  An append that
+    // still fails after the bounded retries quarantines this cell — the
+    // rest of the campaign keeps running, and a re-launch retries exactly
+    // the quarantined keys (they are simply missing from the ledger).
+    Status St = appendLineWithRetry(Out, Options.ledgerPath(), Line, NeedSeal);
     ++Completed;
-    if (!Options.Quiet)
-      std::fprintf(stderr, "  campaign [%zu/%zu] %s\n",
+    if (St.ok()) {
+      ++Appended;
+      if (!Options.Quiet)
+        std::fprintf(stderr, "  campaign [%zu/%zu] %s\n",
+                     Progress.AlreadyDone + Completed, Progress.TotalCells,
+                     Key.c_str());
+    } else {
+      Progress.QuarantinedCells.push_back(Key);
+      std::fprintf(stderr, "  campaign [%zu/%zu] QUARANTINED %s: %s\n",
                    Progress.AlreadyDone + Completed, Progress.TotalCells,
-                   Key.c_str());
+                   Key.c_str(), St.message().c_str());
+    }
   });
   std::fclose(Out);
 
@@ -470,9 +569,12 @@ CampaignProgress alic::runCampaignCells(const CampaignSpec &Spec,
     Progress.TasksExecuted = Stats.Executed;
     Progress.Steals = Stats.Steals;
   }
-  Progress.NewlyRun = Missing.size();
-  Progress.Complete =
-      Progress.AlreadyDone + Progress.NewlyRun == Progress.TotalCells;
+  Progress.NewlyRun = Appended;
+  // Completion order varies across worker counts; report deterministically.
+  std::sort(Progress.QuarantinedCells.begin(),
+            Progress.QuarantinedCells.end());
+  Progress.Complete = Progress.QuarantinedCells.empty() &&
+                      Progress.AlreadyDone + Completed == Progress.TotalCells;
   return Progress;
 }
 

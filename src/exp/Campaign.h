@@ -180,8 +180,15 @@ struct CampaignOptions {
 struct CampaignProgress {
   size_t TotalCells = 0;   ///< cells the spec expands to
   size_t AlreadyDone = 0;  ///< found complete in the ledger
-  size_t NewlyRun = 0;     ///< computed and appended by this invocation
+  size_t NewlyRun = 0;     ///< computed and durably appended by this invocation
   bool Complete = false;   ///< every spec cell is now in the ledger
+  /// Keys of cells whose ledger append failed even after the bounded
+  /// retry/backoff (e.g. the disk filled up).  The campaign *finishes the
+  /// remaining cells* instead of aborting; quarantined cells are simply
+  /// absent from the ledger, so re-launching the same spec retries
+  /// exactly those and the final aggregate is byte-identical to an
+  /// uninterrupted run.  Non-empty implies !Complete.
+  std::vector<std::string> QuarantinedCells;
   // Scheduler observability (never part of any result).
   unsigned WorkersUsed = 0;  ///< scheduler worker threads (0 = inline)
   uint64_t TasksExecuted = 0; ///< cells + stolen/forked inner shards
@@ -195,6 +202,13 @@ std::vector<CampaignCell> expandCells(const CampaignSpec &Spec);
 /// Runs every spec cell missing from the ledger, sharding across
 /// Options.Threads workers; each completed cell is appended to the ledger
 /// crash-safely (single flushed+synced write).  Honors MaxCells.
+///
+/// Ledger I/O failures *degrade* instead of aborting: a failed append is
+/// retried with bounded exponential backoff (fault-injection sites
+/// `ledger.append` / `ledger.sync`), and a cell whose append still fails
+/// is quarantined (Progress.QuarantinedCells) while the rest of the
+/// campaign completes.  A state dir or ledger that cannot be opened at
+/// all quarantines every missing cell without computing any.
 CampaignProgress runCampaignCells(const CampaignSpec &Spec,
                                   const CampaignOptions &Options);
 

@@ -8,6 +8,7 @@
 #include "support/Serialize.h"
 
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 
@@ -169,7 +170,11 @@ Dataset alic::loadOrBuildDataset(const SpaptBenchmark &B, size_t NumConfigs,
   Writer.writeU32(DatasetBlobVersion);
   Writer.writeU64(Key);
   serializeDataset(Fresh, Writer);
-  // Best effort: a failed write only costs the next run a rebuild.
-  (void)Writer.writeFileAtomic(Path);
+  // Best effort: a failed write only costs the next run a rebuild, but
+  // say so — a silently unpopulated cache looks like a perf regression.
+  Status St = Writer.writeFileDurable(Path);
+  if (!St.ok())
+    std::fprintf(stderr, "alic: dataset cache write skipped: %s (errno %d)\n",
+                 St.message().c_str(), St.errnoValue());
   return Fresh;
 }

@@ -5,10 +5,12 @@
 #include "spapt/Suite.h"
 #include "stats/Metrics.h"
 #include "support/Error.h"
+#include "support/FailPoint.h"
 #include "support/Scheduler.h"
 #include "support/Serialize.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 
 using namespace alic;
@@ -105,6 +107,9 @@ struct ServeEngine::Session {
   std::vector<std::vector<double>> Events;
   double TotalCostSeconds = 0.0;
   unsigned SinceSnapshot = 0;
+  /// The last snapshot attempt failed; SinceSnapshot is pinned at the
+  /// cadence so the next observe retries (degrade, never abort).
+  bool DirtySnapshot = false;
   /// Set (under M) by closeSession.  An in-flight call that resolved the
   /// session just before it left the table sees this after locking M and
   /// reports the session as unknown instead of mutating a closed one.
@@ -198,7 +203,25 @@ void ServeEngine::snapshot(const std::string &Id, Session &S) {
   W.writeU64(S.Events.size());
   for (const std::vector<double> &Costs : S.Events)
     W.writeDoubles(Costs);
-  W.writeFileAtomic(snapshotPath(Id));
+  Status St;
+  FailOutcome F = ALIC_FAILPOINT("snapshot.write");
+  if (F.Fire)
+    St = Status::failure("snapshot " + snapshotPath(Id) + " (injected)",
+                         F.Errno);
+  else
+    St = W.writeFileDurable(snapshotPath(Id));
+  if (!St.ok()) {
+    // Degrade: the session keeps serving from memory; pinning the counter
+    // at the cadence makes the very next observe (or snapshotAll) retry.
+    S.DirtySnapshot = true;
+    S.SinceSnapshot = Opts.CheckpointEveryObserves;
+    std::fprintf(stderr,
+                 "alic_serve: snapshot of session '%s' failed: %s "
+                 "(errno %d); serving from memory, will retry\n",
+                 Id.c_str(), St.message().c_str(), St.errnoValue());
+    return;
+  }
+  S.DirtySnapshot = false;
   S.SinceSnapshot = 0;
 }
 
@@ -332,6 +355,7 @@ bool ServeEngine::sessionInfo(const std::string &Id, SessionInfo &Out,
   Out.TotalCostSeconds = S->TotalCostSeconds;
   Out.Observes = S->Events.size();
   Out.Done = S->Learner->done();
+  Out.SnapshotDirty = S->DirtySnapshot;
   if (Out.Done)
     Out.Phase = SuggestPhase::Done;
   else if (!S->Learner->seeded())
@@ -393,6 +417,8 @@ size_t ServeEngine::restoreSessions(size_t *Skipped) {
     std::string Id;
     SessionSpec Spec;
     uint64_t NumEvents = 0;
+    if (ALIC_FAILPOINT("snapshot.restore").Fire)
+      goto corrupt; // injected unreadable snapshot
     if (!ByteReader::fromFile(Path, R))
       goto corrupt;
     R.readU32(Magic);
@@ -450,6 +476,28 @@ size_t ServeEngine::restoreSessions(size_t *Skipped) {
   if (Skipped)
     *Skipped = Bad;
   return Restored;
+}
+
+size_t ServeEngine::snapshotAll() {
+  if (Opts.StateDir.empty())
+    return 0;
+  std::vector<std::pair<std::string, std::shared_ptr<Session>>> Live;
+  {
+    std::lock_guard<std::mutex> Lock(EngineMutex);
+    for (const auto &[Id, S] : Sessions)
+      Live.emplace_back(Id, S);
+  }
+  size_t Clean = 0;
+  for (auto &[Id, S] : Live) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    if (S->Closed)
+      continue;
+    if (S->SinceSnapshot > 0 || S->DirtySnapshot)
+      snapshot(Id, *S);
+    if (!S->DirtySnapshot)
+      ++Clean;
+  }
+  return Clean;
 }
 
 std::vector<std::string> ServeEngine::sessionIds() const {

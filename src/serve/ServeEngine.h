@@ -111,6 +111,10 @@ struct SessionInfo {
   size_t Observes = 0;
   /// True once the completion criterion is met.
   bool Done = false;
+  /// True when the last snapshot attempt failed (disk full, injected
+  /// fault, ...).  The session keeps serving; the next observe on the
+  /// checkpoint cadence — or a snapshotAll() — retries the write.
+  bool SnapshotDirty = false;
 };
 
 /// The session multiplexer.  One instance per daemon (or per test);
@@ -171,6 +175,13 @@ public:
   /// down — and their count is reported via \p Skipped.  Returns the
   /// number of sessions restored.  Call once, before serving.
   size_t restoreSessions(size_t *Skipped = nullptr);
+
+  /// Snapshots every live session that has unsnapshotted observations or
+  /// a dirty (previously failed) snapshot.  Returns the number of
+  /// sessions whose snapshot is now clean and current.  The daemon's
+  /// SIGTERM drain calls this so a graceful shutdown never loses
+  /// observations, whatever the checkpoint cadence.
+  size_t snapshotAll();
 
   /// Ids of all live sessions, sorted.
   std::vector<std::string> sessionIds() const;

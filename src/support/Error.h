@@ -16,8 +16,48 @@
 #define ALIC_SUPPORT_ERROR_H
 
 #include <cassert>
+#include <string>
+#include <utility>
 
 namespace alic {
+
+/// Lightweight success/failure result for the degradable I/O paths (ledger
+/// appends, snapshot writes, dataset-cache blobs).  The library does not
+/// use exceptions, and a storage failure on these paths is an ordinary
+/// input — callers retry, quarantine, or mark state dirty instead of
+/// aborting.  A Status carries the failing call's errno (0 when not a
+/// syscall failure) and a human-readable message.
+class [[nodiscard]] Status {
+public:
+  /// Default-constructed Status is success.
+  Status() = default;
+
+  /// The success value.
+  static Status success() { return Status(); }
+
+  /// A failure with \p Message and optional \p Errno.
+  static Status failure(std::string Message, int Errno = 0) {
+    Status S;
+    S.Success = false;
+    S.Err = Errno;
+    S.Msg = std::move(Message);
+    return S;
+  }
+
+  /// True on success.
+  bool ok() const { return Success; }
+
+  /// The captured errno, or 0 (meaningful only when !ok()).
+  int errnoValue() const { return Err; }
+
+  /// The failure message; empty on success.
+  const std::string &message() const { return Msg; }
+
+private:
+  bool Success = true;
+  int Err = 0;
+  std::string Msg;
+};
 
 /// Prints \p Msg (printf-style) to stderr and aborts.  Used for conditions
 /// that indicate a programming error or an impossible configuration, never

@@ -2,8 +2,14 @@
 
 #include "support/Serialize.h"
 
+#include "support/FailPoint.h"
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 using namespace alic;
 
@@ -46,24 +52,97 @@ void ByteWriter::writeDoubles(const std::vector<double> &Values) {
     writeDouble(V);
 }
 
-bool ByteWriter::writeFileAtomic(const std::string &Path) const {
+namespace {
+
+/// Writes all of [Data, Data+Size) to \p Fd, honoring the
+/// `atomicfile.write` failpoint (torn mode lets the first TornBytes
+/// through, then fails — what ENOSPC mid-write looks like).  Retries
+/// EINTR-interrupted writes.
+Status writeAllTo(int Fd, const uint8_t *Data, size_t Size,
+                  const std::string &TmpPath) {
+  FailOutcome F = ALIC_FAILPOINT("atomicfile.write");
+  if (F.Fire) {
+    if (F.Mode == FailMode::Torn && F.TornBytes > 0 && Size > 0) {
+      size_t Partial = F.TornBytes < Size ? F.TornBytes : Size;
+      size_t Done = 0;
+      while (Done < Partial) {
+        ssize_t N = ::write(Fd, Data + Done, Partial - Done);
+        if (N <= 0)
+          break;
+        Done += size_t(N);
+      }
+    }
+    return Status::failure("write " + TmpPath + " (injected)", F.Errno);
+  }
+  size_t Done = 0;
+  while (Done < Size) {
+    ssize_t N = ::write(Fd, Data + Done, Size - Done);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      return Status::failure("write " + TmpPath, errno);
+    Done += size_t(N);
+  }
+  return Status::success();
+}
+
+/// fsync of the directory containing \p Path, making a completed rename
+/// inside it durable.  Best-effort on filesystems that reject directory
+/// fsync (reported errno EINVAL is ignored, the POSIX escape hatch).
+Status syncParentDir(const std::string &Path) {
+  FailOutcome F = ALIC_FAILPOINT("atomicfile.dirsync");
+  if (F.Fire)
+    return Status::failure("fsync dir of " + Path + " (injected)", F.Errno);
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  if (Dir.empty())
+    Dir = "/";
+  int Fd = ::open(Dir.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return Status::failure("open dir " + Dir, errno);
+  int Rc = ::fsync(Fd);
+  int SavedErrno = errno;
+  ::close(Fd);
+  if (Rc != 0 && SavedErrno != EINVAL)
+    return Status::failure("fsync dir " + Dir, SavedErrno);
+  return Status::success();
+}
+
+} // namespace
+
+Status ByteWriter::writeFileDurable(const std::string &Path) const {
   std::string TmpPath = Path + ".tmp";
-  std::FILE *File = std::fopen(TmpPath.c_str(), "wb");
-  if (!File)
-    return false;
-  size_t Written =
-      Buffer.empty() ? 0 : std::fwrite(Buffer.data(), 1, Buffer.size(), File);
-  bool Ok = Written == Buffer.size() && std::fflush(File) == 0;
-  Ok = std::fclose(File) == 0 && Ok;
-  if (!Ok) {
-    std::remove(TmpPath.c_str());
-    return false;
+  int Fd = ::open(TmpPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return Status::failure("open " + TmpPath, errno);
+
+  Status St = writeAllTo(Fd, Buffer.data(), Buffer.size(), TmpPath);
+
+  if (St.ok()) {
+    FailOutcome F = ALIC_FAILPOINT("atomicfile.sync");
+    if (F.Fire)
+      St = Status::failure("fsync " + TmpPath + " (injected)", F.Errno);
+    else if (::fsync(Fd) != 0)
+      St = Status::failure("fsync " + TmpPath, errno);
+  }
+  if (::close(Fd) != 0 && St.ok())
+    St = Status::failure("close " + TmpPath, errno);
+  if (!St.ok()) {
+    ::unlink(TmpPath.c_str());
+    return St;
+  }
+
+  FailOutcome F = ALIC_FAILPOINT("atomicfile.rename");
+  if (F.Fire) {
+    ::unlink(TmpPath.c_str());
+    return Status::failure("rename to " + Path + " (injected)", F.Errno);
   }
   if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
-    std::remove(TmpPath.c_str());
-    return false;
+    Status Failed = Status::failure("rename to " + Path, errno);
+    ::unlink(TmpPath.c_str());
+    return Failed;
   }
-  return true;
+  return syncParentDir(Path);
 }
 
 bool ByteReader::fromFile(const std::string &Path, ByteReader &Out) {

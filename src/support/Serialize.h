@@ -19,6 +19,8 @@
 #ifndef ALIC_SUPPORT_SERIALIZE_H
 #define ALIC_SUPPORT_SERIALIZE_H
 
+#include "support/Error.h"
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -42,10 +44,26 @@ public:
   const std::vector<uint8_t> &bytes() const { return Buffer; }
   size_t size() const { return Buffer.size(); }
 
-  /// Writes the buffer to \p Path atomically (temporary file + rename), so
-  /// concurrent readers never observe a half-written blob.  Returns false
-  /// on I/O failure.
-  bool writeFileAtomic(const std::string &Path) const;
+  /// Writes the buffer to \p Path atomically *and durably*: the bytes go
+  /// to a temporary file, the temporary is fsync'd **before** the rename
+  /// (so the rename can never publish a name whose data is still only in
+  /// the page cache — a crash after rename-without-sync leaves a
+  /// truncated-but-named blob), and the containing directory is fsync'd
+  /// after (so the rename itself survives a crash).  Concurrent readers
+  /// never observe a half-written blob.  On any failure the temporary is
+  /// removed and \p Path keeps its previous content (or absence); the
+  /// returned Status carries the failing step and errno.
+  ///
+  /// Fault-injection sites: atomicfile.write (torn/error on the data
+  /// write), atomicfile.sync (temp-file fsync), atomicfile.rename, and
+  /// atomicfile.dirsync — all four accept mode:crash for the
+  /// kill-at-every-sync-point chaos tests.
+  Status writeFileDurable(const std::string &Path) const;
+
+  /// Compatibility wrapper around writeFileDurable: true on success.
+  bool writeFileAtomic(const std::string &Path) const {
+    return writeFileDurable(Path).ok();
+  }
 
 private:
   std::vector<uint8_t> Buffer;

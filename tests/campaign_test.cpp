@@ -10,9 +10,11 @@
 #include "exp/Campaign.h"
 #include "exp/Dataset.h"
 #include "spapt/Suite.h"
+#include "support/FailPoint.h"
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -245,6 +247,107 @@ TEST(CampaignTest, NoiseOnlySpecNeedsNoRunCells) {
   EXPECT_EQ(Result.Noise[0].Benchmark, "mvt");
   EXPECT_GT(Result.Noise[0].Ci35Mean, 0.0);
   EXPECT_GE(Result.Noise[0].VarMax, Result.Noise[0].VarMin);
+  std::filesystem::remove_all(Options.StateDir);
+}
+
+TEST(CampaignTest, EnospcQuarantinesOneCellAndResumeIsByteIdentical) {
+  // A disk-full window spanning every retry of one append: the campaign
+  // must quarantine that cell, finish the rest, and a re-launch must
+  // retry exactly the quarantined cell and aggregate byte-identically.
+  CampaignSpec Spec = tinySpec();
+  CampaignOptions Options;
+  Options.StateDir = freshStateDir("quarantine");
+  Options.Quiet = true;
+
+  FailSpec Fault;
+  Fault.Errno = ENOSPC;
+  Fault.Nth = 2;   // the second cell's append...
+  Fault.Count = 4; // ...fails on all LedgerAppendAttempts attempts
+  armFailPoint("ledger.append", Fault);
+  CampaignProgress Progress = runCampaignCells(Spec, Options);
+  disarmAllFailPoints();
+
+  EXPECT_FALSE(Progress.Complete);
+  ASSERT_EQ(Progress.QuarantinedCells.size(), 1u);
+  EXPECT_EQ(Progress.NewlyRun, Progress.TotalCells - 1);
+  // The quarantined key is simply absent from the ledger...
+  CampaignResult ShouldFail;
+  EXPECT_FALSE(aggregateCampaign(Spec, Options, ShouldFail));
+
+  // ...so the re-launch runs exactly it and nothing else.
+  CampaignProgress Resumed = runCampaignCells(Spec, Options);
+  EXPECT_TRUE(Resumed.Complete);
+  EXPECT_EQ(Resumed.NewlyRun, 1u);
+  EXPECT_EQ(Resumed.AlreadyDone, Progress.TotalCells - 1);
+  CampaignResult Result;
+  ASSERT_TRUE(aggregateCampaign(Spec, Options, Result));
+
+  CampaignOptions Clean;
+  Clean.StateDir = freshStateDir("quarantine_clean");
+  EXPECT_EQ(campaignJson(Spec, Result), runToJson(Spec, Clean));
+  std::filesystem::remove_all(Options.StateDir);
+  std::filesystem::remove_all(Clean.StateDir);
+}
+
+TEST(CampaignTest, TornQuarantineRemnantIsSealedNotGluedToNextCell) {
+  // Every attempt of one cell's append tears mid-line; the *next* cell's
+  // append must seal the remnant before writing, or both records die.
+  CampaignSpec Spec = tinySpec();
+  CampaignOptions Options;
+  Options.StateDir = freshStateDir("torn");
+  Options.Quiet = true;
+
+  FailSpec Fault;
+  Fault.Mode = FailMode::Torn;
+  Fault.TornBytes = 9;
+  Fault.Errno = ENOSPC;
+  Fault.Nth = 2;
+  Fault.Count = 4;
+  armFailPoint("ledger.append", Fault);
+  CampaignProgress Progress = runCampaignCells(Spec, Options);
+  disarmAllFailPoints();
+
+  EXPECT_FALSE(Progress.Complete);
+  ASSERT_EQ(Progress.QuarantinedCells.size(), 1u);
+  EXPECT_EQ(Progress.NewlyRun, Progress.TotalCells - 1);
+
+  // The cells appended after the torn one parsed cleanly: resume runs
+  // only the quarantined cell, and the aggregate matches a clean run.
+  CampaignProgress Resumed = runCampaignCells(Spec, Options);
+  EXPECT_TRUE(Resumed.Complete);
+  EXPECT_EQ(Resumed.NewlyRun, 1u);
+  CampaignResult Result;
+  ASSERT_TRUE(aggregateCampaign(Spec, Options, Result));
+
+  CampaignOptions Clean;
+  Clean.StateDir = freshStateDir("torn_clean");
+  EXPECT_EQ(campaignJson(Spec, Result), runToJson(Spec, Clean));
+  std::filesystem::remove_all(Options.StateDir);
+  std::filesystem::remove_all(Clean.StateDir);
+}
+
+TEST(CampaignTest, TotalLedgerFailureQuarantinesEverythingRecordsNothing) {
+  // A permanently failing ledger (every append fails from the start) must
+  // degrade to "all missing cells quarantined", never abort the process.
+  CampaignSpec Spec = tinySpec();
+  CampaignOptions Options;
+  Options.StateDir = freshStateDir("allfail");
+  Options.Quiet = true;
+
+  FailSpec Fault;
+  Fault.Errno = ENOSPC;
+  armFailPoint("ledger.append", Fault); // every hit fires
+  CampaignProgress Progress = runCampaignCells(Spec, Options);
+  disarmAllFailPoints();
+
+  EXPECT_FALSE(Progress.Complete);
+  EXPECT_EQ(Progress.QuarantinedCells.size(), Progress.TotalCells);
+  EXPECT_EQ(Progress.NewlyRun, 0u);
+
+  // Nothing made it into the ledger, so a clean re-launch runs it all.
+  CampaignProgress Resumed = runCampaignCells(Spec, Options);
+  EXPECT_TRUE(Resumed.Complete);
+  EXPECT_EQ(Resumed.NewlyRun, Progress.TotalCells);
   std::filesystem::remove_all(Options.StateDir);
 }
 

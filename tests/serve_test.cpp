@@ -13,11 +13,13 @@
 #include "serve/ServeEngine.h"
 #include "serve/Wire.h"
 #include "spapt/Suite.h"
+#include "support/FailPoint.h"
 #include "support/Json.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -381,6 +383,76 @@ TEST(ServeEngineTest, CorruptSnapshotsAreSkippedNotFatal) {
     EXPECT_EQ(Skipped, 2u);
     EXPECT_EQ(Engine.sessionIds(), std::vector<std::string>{"good"});
   }
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(ServeEngineTest, SnapshotFailureDegradesAndRetryRecovers) {
+  std::string Dir = freshStateDir("dirty");
+  ServeEngine Engine(engineOptions(Dir, 0));
+  std::string Err;
+  ASSERT_TRUE(Engine.openSession("s", tinySpec(), Err)) << Err;
+  Client C("atax");
+  std::vector<std::string> Seen;
+  drain(Engine, "s", C, Seen, 2);
+
+  // Every snapshot write now fails: observes must keep succeeding (the
+  // session serves from memory) with the session reported dirty.
+  FailSpec Fault;
+  Fault.Errno = ENOSPC;
+  armFailPoint("snapshot.write", Fault);
+  drain(Engine, "s", C, Seen, 2);
+  SessionInfo Info;
+  ASSERT_TRUE(Engine.sessionInfo("s", Info, Err)) << Err;
+  EXPECT_TRUE(Info.SnapshotDirty);
+  disarmAllFailPoints();
+
+  // The next observe on the cadence retries and recovers...
+  drain(Engine, "s", C, Seen, 1);
+  ASSERT_TRUE(Engine.sessionInfo("s", Info, Err)) << Err;
+  EXPECT_FALSE(Info.SnapshotDirty);
+
+  // ...and so does snapshotAll (the SIGTERM drain path).
+  armFailPoint("snapshot.write", Fault);
+  drain(Engine, "s", C, Seen, 1);
+  ASSERT_TRUE(Engine.sessionInfo("s", Info, Err)) << Err;
+  EXPECT_TRUE(Info.SnapshotDirty);
+  disarmAllFailPoints();
+  EXPECT_EQ(Engine.snapshotAll(), 1u);
+  ASSERT_TRUE(Engine.sessionInfo("s", Info, Err)) << Err;
+  EXPECT_FALSE(Info.SnapshotDirty);
+
+  // The recovered snapshot is current: a restored engine's next
+  // suggestion is byte-identical to the live engine's.
+  Suggestion Live;
+  ASSERT_TRUE(Engine.suggest("s", Live, Err)) << Err;
+  ServeEngine Restored(engineOptions(Dir, 0));
+  ASSERT_EQ(Restored.restoreSessions(), 1u);
+  Suggestion FromDisk;
+  ASSERT_TRUE(Restored.suggest("s", FromDisk, Err)) << Err;
+  EXPECT_EQ(fingerprint(FromDisk), fingerprint(Live));
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(ServeEngineTest, InjectedRestoreFaultSkipsNotFatal) {
+  std::string Dir = freshStateDir("restorefault");
+  {
+    ServeEngine Engine(engineOptions(Dir, 0));
+    std::string Err;
+    ASSERT_TRUE(Engine.openSession("a", tinySpec(1), Err)) << Err;
+    ASSERT_TRUE(Engine.openSession("b", tinySpec(2), Err)) << Err;
+  }
+  // The first snapshot read fails (as an unreadable file would); the
+  // daemon must skip it and still restore the other session.
+  FailSpec Fault;
+  Fault.Errno = EIO;
+  Fault.Count = 1;
+  armFailPoint("snapshot.restore", Fault);
+  ServeEngine Engine(engineOptions(Dir, 0));
+  size_t Skipped = 0;
+  EXPECT_EQ(Engine.restoreSessions(&Skipped), 1u);
+  EXPECT_EQ(Skipped, 1u);
+  EXPECT_EQ(Engine.sessionIds(), std::vector<std::string>{"b"});
+  disarmAllFailPoints();
   std::filesystem::remove_all(Dir);
 }
 

@@ -1,0 +1,368 @@
+#!/usr/bin/env python3
+"""Chaos harness: kill-at-every-sync-point and disk-full fault injection.
+
+Exercises the failpoint catalog (support/FailPoint.h) end to end against
+the real binaries, checking the repo's degrade-don't-abort contract:
+
+1. *campaign crash loops* — for every durability failpoint on the
+   campaign path (ledger.append, ledger.sync, atomicfile.write,
+   atomicfile.sync, atomicfile.rename, atomicfile.dirsync), repeatedly
+   run `alic_campaign` with `ALIC_FAILPOINTS="<site>=nth:K,mode:crash"`
+   for K = 1, 2, 3, ... on one state dir.  Each run survives K-1 hits of
+   the site and then `_exit`s mid-syscall; resuming with K+1 makes
+   monotone progress, so the loop always terminates.  The final
+   uninterrupted run must produce a BENCH_campaign.json byte-identical
+   to a never-crashed reference.
+
+2. *ENOSPC quarantine* — the paper-scale smoke campaign (275 cells) with
+   a persistent injected ENOSPC from the 4th ledger append onward: the
+   campaign must finish every cell, report the quarantined keys, exit 74
+   (EX_IOERR), and a clean re-launch must retry exactly the quarantined
+   cells and render a byte-identical aggregate.
+
+3. *serve snapshot crash loop* — a suggest/observe client drives
+   `alic_serve` while `snapshot.write=nth:K,mode:crash` kills the daemon
+   at its K-th snapshot; the client restarts the daemon and resumes with
+   the documented at-least-once retry (re-suggest; a reply equal to the
+   lost round's suggestion means the observe was lost and is re-sent).
+   Every suggestion across all crashes must be byte-identical to an
+   uninterrupted reference run.
+
+stdlib-only by design: CI runs it with a bare python3.
+
+Exit codes: 0 ok, 1 contract violation, 2 usage error.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import socket
+import subprocess
+import sys
+import time
+
+CRASH_EXIT = 43  # FailSpec::ExitCode default
+QUARANTINE_EXIT = 74  # alic_campaign's EX_IOERR
+MAX_CRASH_ITERATIONS = 64
+
+CAMPAIGN_SITES = [
+    "ledger.append",
+    "ledger.sync",
+    "atomicfile.write",
+    "atomicfile.sync",
+    "atomicfile.rename",
+    "atomicfile.dirsync",
+]
+
+SERVE_ROUNDS = 5
+SERVE_SPEC = {
+    "benchmark": "atax",
+    "model": "dynatree",
+    "scorer": "alc",
+    "plan": "seq:35",
+    "seed": 9,
+    "max_examples": 8,
+}
+
+
+def fail(message):
+    print(f"chaos_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def read_bytes(path):
+    with open(path, "rb") as stream:
+        return stream.read()
+
+
+# ---------------------------------------------------------------------------
+# Campaign chaos
+# ---------------------------------------------------------------------------
+
+def campaign_cmd(binary, state_dir, out, small):
+    cmd = [binary, f"--state-dir={state_dir}", f"--out={out}"]
+    if small:
+        cmd += ["--benchmarks=atax,mvt", "--seeds=1"]
+    else:
+        cmd += ["--models=dynatree,gp", "--scorers=alm,alc", "--seeds=2"]
+    return cmd
+
+
+def run_campaign(binary, state_dir, out, small, failpoints=None):
+    env = dict(os.environ, ALIC_SCALE="smoke")
+    env.pop("ALIC_FAILPOINTS", None)
+    if failpoints:
+        env["ALIC_FAILPOINTS"] = failpoints
+    proc = subprocess.run(campaign_cmd(binary, state_dir, out, small),
+                          env=env, capture_output=True, text=True)
+    return proc
+
+
+def campaign_crash_loops(binary, workdir):
+    """Kill the campaign at every hit of every durability failpoint."""
+    ref_out = os.path.join(workdir, "ref.json")
+    proc = run_campaign(binary, os.path.join(workdir, "ref"), ref_out,
+                        small=True)
+    if proc.returncode != 0:
+        fail(f"reference campaign failed: rc={proc.returncode}\n{proc.stderr}")
+    reference = read_bytes(ref_out)
+
+    for site in CAMPAIGN_SITES:
+        tag = site.replace(".", "_")
+        state_dir = os.path.join(workdir, f"crash_{tag}")
+        out = os.path.join(workdir, f"crash_{tag}.json")
+        crashes = 0
+        for iteration in range(1, MAX_CRASH_ITERATIONS + 1):
+            proc = run_campaign(binary, state_dir, out, small=True,
+                                failpoints=f"{site}=nth:{iteration},mode:crash")
+            if proc.returncode == 0:
+                break
+            if proc.returncode != CRASH_EXIT:
+                fail(f"{site}: iteration {iteration} exited "
+                     f"{proc.returncode}, want {CRASH_EXIT} (crash) or 0\n"
+                     f"{proc.stderr}")
+            crashes += 1
+        else:
+            fail(f"{site}: no progress after {MAX_CRASH_ITERATIONS} "
+                 f"crash iterations")
+        # One final run with nothing armed: nothing left to do, and the
+        # aggregate must match the never-crashed reference byte for byte.
+        proc = run_campaign(binary, state_dir, out, small=True)
+        if proc.returncode != 0:
+            fail(f"{site}: clean resume failed: rc={proc.returncode}\n"
+                 f"{proc.stderr}")
+        if read_bytes(out) != reference:
+            fail(f"{site}: aggregate diverged after {crashes} crashes "
+                 f"({out} vs {ref_out})")
+        print(f"chaos_smoke: campaign {site}: byte-identical after "
+              f"{crashes} kill(s)")
+
+
+def campaign_enospc_quarantine(binary, workdir, small):
+    """Persistent disk-full mid-campaign: quarantine, exit 74, resume."""
+    label = "small" if small else "275-cell"
+    ref_out = os.path.join(workdir, "enospc_ref.json")
+    proc = run_campaign(binary, os.path.join(workdir, "enospc_ref"), ref_out,
+                        small=small)
+    if proc.returncode != 0:
+        fail(f"enospc reference failed: rc={proc.returncode}\n{proc.stderr}")
+    reference = read_bytes(ref_out)
+
+    state_dir = os.path.join(workdir, "enospc")
+    out = os.path.join(workdir, "enospc.json")
+    proc = run_campaign(binary, state_dir, out, small=small,
+                        failpoints="ledger.append=nth:4,mode:enospc")
+    if proc.returncode != QUARANTINE_EXIT:
+        fail(f"enospc run exited {proc.returncode}, want {QUARANTINE_EXIT}\n"
+             f"{proc.stderr}")
+    quarantined = [line for line in proc.stderr.splitlines()
+                   if line.strip().startswith("quarantined:")]
+    if not quarantined:
+        fail(f"enospc run reported no quarantined cells:\n{proc.stderr}")
+    if os.path.exists(out):
+        fail("enospc run wrote an aggregate despite quarantined cells")
+
+    proc = run_campaign(binary, state_dir, out, small=small)
+    if proc.returncode != 0:
+        fail(f"enospc resume failed: rc={proc.returncode}\n{proc.stderr}")
+    if read_bytes(out) != reference:
+        fail("enospc resume aggregate diverged from reference")
+    print(f"chaos_smoke: campaign ENOSPC ({label}): {len(quarantined)} "
+          f"cell(s) quarantined, resume byte-identical")
+
+
+# ---------------------------------------------------------------------------
+# Serve chaos
+# ---------------------------------------------------------------------------
+
+class DaemonDied(Exception):
+    """The daemon crashed mid-request (the injected failpoint fired)."""
+
+
+class ChaosDaemon:
+    """One alic_serve process; request() raises DaemonDied on a crash."""
+
+    def __init__(self, binary, sock_path, state_dir, failpoints=None):
+        env = dict(os.environ, ALIC_SCALE="smoke")
+        env.pop("ALIC_FAILPOINTS", None)
+        if failpoints:
+            env["ALIC_FAILPOINTS"] = failpoints
+        self.proc = subprocess.Popen(
+            [binary, f"--socket={sock_path}", f"--state-dir={state_dir}",
+             "--threads=0", "--checkpoint-every=1"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env,
+            text=True)
+        ready = self.proc.stdout.readline()
+        if not ready.startswith("READY"):
+            fail(f"daemon did not print READY (got {ready!r})")
+        self.conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        for _ in range(50):
+            try:
+                self.conn.connect(sock_path)
+                break
+            except OSError:
+                time.sleep(0.1)
+        else:
+            fail(f"could not connect to {sock_path}")
+        self.reader = self.conn.makefile("r")
+
+    def request(self, obj):
+        try:
+            self.conn.sendall((json.dumps(obj) + "\n").encode())
+            line = self.reader.readline()
+        except OSError:
+            line = ""
+        if not line:
+            raise DaemonDied()
+        return line.rstrip("\n"), json.loads(line)
+
+    def must(self, obj):
+        line, reply = self.request(obj)
+        if not reply.get("ok"):
+            fail(f"{obj.get('op')} failed: {line}")
+        return line, reply
+
+    def reap(self, expect_crash):
+        self.conn.close()
+        rc = self.proc.wait(timeout=30)
+        if expect_crash and rc != CRASH_EXIT:
+            fail(f"daemon exited {rc}, want crash exit {CRASH_EXIT}")
+        return rc
+
+    def terminate(self):
+        self.proc.terminate()
+        rc = self.proc.wait(timeout=30)
+        self.conn.close()
+        if rc != 0:
+            fail(f"daemon SIGTERM drain exited {rc}, want 0")
+
+
+def serve_cost(round_index, slot):
+    return 0.4 + ((round_index * 31 + slot * 7) % 97) * 1e-3
+
+
+def serve_reference(binary, workdir):
+    sock = os.path.join(workdir, "serve_ref.sock")
+    daemon = ChaosDaemon(binary, sock, os.path.join(workdir, "serve_ref"))
+    daemon.must({"op": "open", "session": "s", "spec": SERVE_SPEC})
+    suggestions = []
+    for round_index in range(SERVE_ROUNDS):
+        line, reply = daemon.must({"op": "suggest", "session": "s"})
+        suggestions.append(line)
+        count = len(reply["configs"]) * reply["observations_per_config"]
+        costs = [serve_cost(round_index, s) for s in range(count)]
+        daemon.must({"op": "observe", "session": "s",
+                     "ticket": reply["ticket"], "costs": costs})
+    daemon.terminate()
+    return suggestions
+
+
+def serve_snapshot_crash_loop(binary, workdir, reference):
+    """Crash the daemon at its K-th snapshot write for K = 1, 2, ...
+
+    The client follows the at-least-once retry the protocol documents:
+    after a restart it re-suggests, and a reply byte-equal to the round
+    it already recorded means the observe was lost — re-send the same
+    costs.  A reply it has not seen is the next round.
+    """
+    sock = os.path.join(workdir, "serve_chaos.sock")
+    state_dir = os.path.join(workdir, "serve_chaos")
+    suggestions = []
+    acked = 0  # observes the daemon has answered
+    crashes = 0
+    iteration = 0
+    while acked < SERVE_ROUNDS:
+        iteration += 1
+        if iteration > MAX_CRASH_ITERATIONS:
+            fail("serve chaos made no progress "
+                 f"({acked}/{SERVE_ROUNDS} rounds after {crashes} crashes)")
+        daemon = ChaosDaemon(
+            binary, sock, state_dir,
+            failpoints=f"snapshot.write=nth:{iteration},mode:crash")
+        try:
+            _, ping = daemon.must({"op": "ping"})
+            if ping.get("sessions") == 0:
+                # Crashed before the open's snapshot landed: open again.
+                daemon.must({"op": "open", "session": "s",
+                             "spec": SERVE_SPEC})
+            while acked < SERVE_ROUNDS:
+                line, reply = daemon.must({"op": "suggest", "session": "s"})
+                if acked < len(suggestions):
+                    # Re-suggest after a crash mid-observe: the lost
+                    # round must come back byte-identical.
+                    if line != suggestions[acked]:
+                        fail(f"round {acked} diverged after crash:\n"
+                             f"  before: {suggestions[acked]}\n"
+                             f"  after:  {line}")
+                else:
+                    suggestions.append(line)
+                count = (len(reply["configs"]) *
+                         reply["observations_per_config"])
+                costs = [serve_cost(acked, s) for s in range(count)]
+                daemon.must({"op": "observe", "session": "s",
+                             "ticket": reply["ticket"], "costs": costs})
+                acked += 1
+        except DaemonDied:
+            daemon.reap(expect_crash=True)
+            crashes += 1
+            continue
+        daemon.terminate()
+
+    if suggestions != reference:
+        for index, (chaos, ref) in enumerate(zip(suggestions, reference)):
+            if chaos != ref:
+                fail(f"serve suggestion {index} diverged from reference:\n"
+                     f"  reference: {ref}\n  chaos:     {chaos}")
+        fail(f"serve round count diverged: {len(suggestions)} vs "
+             f"{len(reference)}")
+
+    # A final clean restart still restores the fully-observed session.
+    daemon = ChaosDaemon(binary, sock, state_dir)
+    _, info = daemon.must({"op": "info", "session": "s"})
+    if info.get("observes") != SERVE_ROUNDS:
+        fail(f"restored session has {info.get('observes')} observes, "
+             f"want {SERVE_ROUNDS}")
+    daemon.terminate()
+    print(f"chaos_smoke: serve snapshot.write: {SERVE_ROUNDS} rounds "
+          f"byte-identical across {crashes} crash(es)")
+
+
+# ---------------------------------------------------------------------------
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--campaign-binary", required=True,
+                        help="path to the alic_campaign executable")
+    parser.add_argument("--serve-binary", required=True,
+                        help="path to the alic_serve executable")
+    parser.add_argument("--workdir", default="chaos-smoke",
+                        help="scratch directory (wiped)")
+    parser.add_argument("--small-enospc", action="store_true",
+                        help="run the ENOSPC probe on the 8-cell spec "
+                             "instead of the 275-cell smoke spec")
+    args = parser.parse_args()
+    campaign = os.path.abspath(args.campaign_binary)
+    serve = os.path.abspath(args.serve_binary)
+    for binary in (campaign, serve):
+        if not os.path.exists(binary):
+            print(f"chaos_smoke: no such binary: {binary}", file=sys.stderr)
+            sys.exit(2)
+
+    shutil.rmtree(args.workdir, ignore_errors=True)
+    os.makedirs(args.workdir)
+
+    campaign_crash_loops(campaign, args.workdir)
+    campaign_enospc_quarantine(campaign, args.workdir,
+                               small=args.small_enospc)
+    reference = serve_reference(serve, args.workdir)
+    serve_snapshot_crash_loop(serve, args.workdir, reference)
+
+    print("chaos_smoke: OK")
+    shutil.rmtree(args.workdir, ignore_errors=True)
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

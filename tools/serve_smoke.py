@@ -15,6 +15,16 @@ The kill run's reply lines must equal the reference run's byte for byte
 through the socket, the wire protocol, the snapshot files, and the
 restore-by-replay path.
 
+Three hardening probes then pin the daemon's client-misbehaviour
+semantics (docs/SERVE_PROTOCOL.md):
+
+3. *idle timeout* — a stalled connection is dropped after
+   --idle-timeout-ms while the daemon keeps serving everyone else;
+4. *oversized request* — a request over --max-request-bytes gets one
+   error reply and a disconnect, and the daemon stays up;
+5. *SIGTERM drain* — with a lazy --checkpoint-every cadence, SIGTERM
+   exits 0 and snapshots every session, so no observation is lost.
+
 stdlib-only by design: CI runs it with a bare python3.
 
 Exit codes: 0 ok, 1 contract violation or daemon failure, 2 usage error.
@@ -56,12 +66,13 @@ def synthetic_cost(round_index, slot):
 class Daemon:
     """One alic_serve process plus a line-oriented socket connection."""
 
-    def __init__(self, binary, sock_path, state_dir, label):
+    def __init__(self, binary, sock_path, state_dir, label, extra_args=()):
         self.label = label
+        self.sock_path = sock_path
         env = dict(os.environ, ALIC_SCALE="smoke")
         self.proc = subprocess.Popen(
             [binary, f"--socket={sock_path}", f"--state-dir={state_dir}",
-             "--threads=2"],
+             "--threads=2", *extra_args],
             stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env,
             text=True)
         ready = self.proc.stdout.readline()
@@ -93,6 +104,12 @@ class Daemon:
             fail(f"{self.label}: {obj.get('op')} failed: {line}")
         return line, reply
 
+    def connect_extra(self):
+        """A second, independent connection to the same daemon."""
+        conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        conn.connect(self.sock_path)
+        return conn
+
     def kill(self):
         self.proc.send_signal(signal.SIGKILL)
         self.proc.wait()
@@ -100,7 +117,9 @@ class Daemon:
 
     def shutdown(self):
         self.must({"op": "shutdown"})
-        self.proc.wait(timeout=30)
+        code = self.proc.wait(timeout=30)
+        if code != 0:
+            fail(f"{self.label}: shutdown drain exited {code}, want 0")
         self.conn.close()
 
 
@@ -115,6 +134,77 @@ def run_rounds(daemon, start, stop, suggestions):
         costs = [synthetic_cost(round_index, slot) for slot in range(count)]
         daemon.must({"op": "observe", "session": "s",
                      "ticket": reply["ticket"], "costs": costs})
+
+
+def probe_idle_timeout(binary, workdir):
+    """A stalled client is dropped; a live one on the same daemon is not."""
+    sock = os.path.join(workdir, "idle.sock")
+    daemon = Daemon(binary, sock, os.path.join(workdir, "idle"), "idle",
+                    extra_args=["--idle-timeout-ms=400"])
+    stalled = daemon.connect_extra()  # connects, then never speaks
+    deadline = time.time() + 10
+    dropped = False
+    while time.time() < deadline:
+        daemon.must({"op": "ping"})  # keeps the main connection warm
+        stalled.settimeout(0.2)
+        try:
+            if stalled.recv(1) == b"":
+                dropped = True
+                break
+        except socket.timeout:
+            pass
+    if not dropped:
+        fail("idle: stalled connection was not dropped within 10s")
+    daemon.must({"op": "ping"})  # the active client kept its connection
+    daemon.shutdown()
+    print("serve_smoke: idle-timeout probe OK "
+          "(stalled client dropped, active client kept)")
+
+
+def probe_oversized_request(binary, workdir):
+    """An over-limit request gets one error reply, then a disconnect."""
+    sock = os.path.join(workdir, "big.sock")
+    daemon = Daemon(binary, sock, os.path.join(workdir, "big"), "big",
+                    extra_args=["--max-request-bytes=4096"])
+    rude = daemon.connect_extra()
+    rude.sendall(b'{"op":"ping","pad":"' + b"x" * 8192 + b'"}\n')
+    reader = rude.makefile("r")
+    reply = json.loads(reader.readline())
+    if reply.get("ok") or "exceeds" not in reply.get("error", ""):
+        fail(f"big: want an 'exceeds' error reply, got {reply}")
+    if reader.readline() != "":
+        fail("big: oversized-request client was not disconnected")
+    daemon.must({"op": "ping"})  # the daemon itself is unharmed
+    daemon.shutdown()
+    print("serve_smoke: oversized-request probe OK "
+          "(error reply + disconnect, daemon alive)")
+
+
+def probe_sigterm_drain(binary, workdir):
+    """SIGTERM snapshots sessions the lazy cadence has not persisted."""
+    sock = os.path.join(workdir, "drain.sock")
+    state = os.path.join(workdir, "drain")
+    # --checkpoint-every=5 with 2 observes: only the drain's snapshotAll
+    # can make these observations durable.
+    daemon = Daemon(binary, sock, state, "drain",
+                    extra_args=["--checkpoint-every=5"])
+    daemon.must({"op": "open", "session": "s", "spec": SPEC})
+    drained = []
+    run_rounds(daemon, 0, 2, drained)
+    daemon.proc.send_signal(signal.SIGTERM)
+    code = daemon.proc.wait(timeout=30)
+    if code != 0:
+        fail(f"drain: SIGTERM exit code {code}, want 0")
+    daemon.conn.close()
+
+    daemon = Daemon(binary, sock, state, "drain-restart")
+    _, info = daemon.must({"op": "info", "session": "s"})
+    if info.get("observes") != 2:
+        fail(f"drain: restored session has {info.get('observes')} "
+             f"observes, want 2 — the drain lost data")
+    daemon.shutdown()
+    print("serve_smoke: SIGTERM-drain probe OK "
+          "(2 unsnapshotted observes survived)")
 
 
 def main():
@@ -167,6 +257,11 @@ def main():
         fail(f"round count diverged: {len(seen)} vs {len(reference)}")
     print(f"serve_smoke: OK — all {ROUNDS} suggestions byte-identical "
           f"across SIGKILL + restart")
+
+    probe_idle_timeout(binary, args.workdir)
+    probe_oversized_request(binary, args.workdir)
+    probe_sigterm_drain(binary, args.workdir)
+
     shutil.rmtree(args.workdir, ignore_errors=True)
     sys.exit(0)
 
