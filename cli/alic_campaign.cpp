@@ -68,6 +68,8 @@ std::vector<std::string> splitList(const std::string &Csv) {
       "  --models=LIST         dynatree,gp (default: dynatree)\n"
       "  --scorers=LIST        alc,alm,random (default: alc)\n"
       "  --batches=LIST        step batch sizes (default: 1)\n"
+      "  --policies=LIST       query policies: always, alm[:abs[:rel]],\n"
+      "                        cost[:c0[:c1]] (default: always)\n"
       "  --seeds=N             repetitions per combo (default: scale's)\n"
       "  --threads=N|auto      scheduler workers; cells run as tasks and\n"
       "                        fork their inner shards onto the same pool\n"
@@ -164,6 +166,16 @@ int main(int argc, char **argv) {
         if (!Batch)
           usage(argv[0], "batch sizes must be positive");
         Spec.BatchSizes.push_back(unsigned(Batch));
+      }
+    } else if (parseFlag(argv[I], "--policies", Value)) {
+      Spec.Policies.clear();
+      if (splitList(Value).empty())
+        usage(argv[0], "--policies= given with no policies");
+      for (const std::string &Token : splitList(Value)) {
+        QueryPolicyConfig Policy;
+        if (!parseQueryPolicy(Token, Policy))
+          usage(argv[0], ("unknown policy: " + Token).c_str());
+        Spec.Policies.push_back(Policy);
       }
     } else if (parseFlag(argv[I], "--seeds", Value)) {
       Spec.Repetitions =

@@ -60,7 +60,8 @@ ActiveLearner::ActiveLearner(const WorkloadOracle &Oracle,
     : Oracle(Oracle), Model(Model), Norm(std::move(Norm)),
       Pool(std::move(Pool)), Plan(Plan), Cfg(Cfg),
       Prof(Oracle, hashCombine({Cfg.Seed, 0x50524f46ull})),
-      Generator(Cfg.Seed), Workers(Workers) {
+      Generator(Cfg.Seed), Workers(Workers),
+      Policy(QueryPolicy::create(Cfg.Query)) {
   assert(!this->Pool.empty() && "training pool must not be empty");
   assert(Cfg.NumInitial >= 1 && "need at least one seed example");
   setScheduler(Workers);
@@ -89,6 +90,7 @@ const Suggestion &ActiveLearner::suggestSeed() {
   // selection is committed even though the costs have not arrived yet.
   PendingIdx.clear();
   PendingRevisit.clear();
+  PendingQueried.clear();
   unsigned NumSeed =
       std::min<unsigned>(Cfg.NumInitial, unsigned(Unseen.size()));
   for (unsigned I = 0; I != NumSeed; ++I) {
@@ -186,7 +188,11 @@ const Suggestion &ActiveLearner::suggest(unsigned Batch) {
 
   // The completion criterion can trip mid-batch; simulate the bookkeeping
   // up front so only the picks that will actually be absorbed are
-  // suggested (and measured, and charged to the caller's ledger).
+  // suggested (and measured, and charged to the caller's ledger).  The
+  // query policy is consulted here, in pick order, so the skip/query
+  // sequence is a pure function of the replayed state (QueryPolicy.h):
+  // replaying a recorded cost stream reproduces every decision.
+  std::vector<uint8_t> Queried;
   {
     size_t Executable = 0;
     size_t Iter = Stats.Iterations;
@@ -198,14 +204,29 @@ const Suggestion &ActiveLearner::suggest(unsigned Batch) {
           (UnseenLeft == 0 && RevisitableLeft == 0))
         break;
       const Candidate &C = Candidates[Pick];
+      bool Label = true;
+      if (Policy) {
+        Prediction P = Model.predict(featuresOf(Pool[C.PoolIdx]));
+        QueryDecision D;
+        D.Mean = P.Mean;
+        D.Variance = P.Variance;
+        D.StreamPosition = Iter;
+        Label = Policy->shouldQuery(D);
+      }
       auto It = ObsCount.find(C.PoolIdx);
-      PickOutcome O = pickOutcome(Plan, C.Revisit,
-                                  It == ObsCount.end() ? 0 : It->second);
+      // A declined pick is consumed unlabelled: a fresh one leaves the
+      // unseen pool without joining the revisit set, a revisit is retired
+      // (the policy judged further measurements there uninformative).
+      PickOutcome O =
+          Label ? pickOutcome(Plan, C.Revisit,
+                              It == ObsCount.end() ? 0 : It->second)
+                : PickOutcome{!C.Revisit, false, C.Revisit};
       UnseenLeft -= O.TakesUnseen;
       RevisitableLeft += O.JoinsRevisitable;
       RevisitableLeft -= O.LeavesRevisitable;
       ++Iter;
       ++Executable;
+      Queried.push_back(Label);
     }
     Chosen.resize(Executable);
   }
@@ -214,15 +235,25 @@ const Suggestion &ActiveLearner::suggest(unsigned Batch) {
 
   PendingIdx.clear();
   PendingRevisit.clear();
-  Outstanding.Phase = SuggestPhase::Refine;
+  PendingQueried.clear();
+  size_t NumQueried = 0;
+  for (uint8_t Q : Queried)
+    NumQueried += Q;
+  Outstanding.Phase =
+      NumQueried == 0 ? SuggestPhase::Skip : SuggestPhase::Refine;
   Outstanding.ObservationsPerConfig =
-      Plan.PlanKind == SamplingPlan::Kind::Fixed ? Plan.FixedObservations : 1;
-  Outstanding.Configs.reserve(Chosen.size());
-  for (size_t Pick : Chosen) {
-    const Candidate &C = Candidates[Pick];
+      NumQueried == 0 ? 0
+      : Plan.PlanKind == SamplingPlan::Kind::Fixed ? Plan.FixedObservations
+                                                   : 1;
+  Outstanding.Configs.reserve(NumQueried);
+  Outstanding.Skipped.reserve(Chosen.size() - NumQueried);
+  for (size_t I = 0; I != Chosen.size(); ++I) {
+    const Candidate &C = Candidates[Chosen[I]];
     PendingIdx.push_back(C.PoolIdx);
     PendingRevisit.push_back(C.Revisit);
-    Outstanding.Configs.push_back(Pool[C.PoolIdx]);
+    PendingQueried.push_back(Queried[I]);
+    (Queried[I] ? Outstanding.Configs : Outstanding.Skipped)
+        .push_back(Pool[C.PoolIdx]);
   }
   Outstanding.Ticket = NextTicket++;
   HasOutstanding = true;
@@ -246,6 +277,8 @@ bool ActiveLearner::observe(uint64_t Ticket,
       ++Stats.DistinctExamples;
       X.push(featuresOf(C));
       Y.push_back(arithmeticMean(Costs.data() + I * PerConfig, PerConfig));
+      if (Policy)
+        Policy->onLabel(Y.back());
     }
     Model.fit(X, Y);
     Seeded = true;
@@ -253,42 +286,56 @@ bool ActiveLearner::observe(uint64_t Ticket,
     return true;
   }
 
-  // --- Absorb the labelled example(s) and update the model --------------
+  // --- Absorb the pick(s); only labelled ones update the model ----------
+  // PendingIdx holds queried and skipped picks interleaved in selection
+  // order; the cost cursor advances only over queried picks, so the
+  // suggest()-time simulation and this loop walk identical sequences.
+  size_t Cursor = 0;
   for (size_t Slot = 0; Slot != PendingIdx.size(); ++Slot) {
     uint32_t PoolIdx = PendingIdx[Slot];
     bool Revisit = PendingRevisit[Slot] != 0;
+    bool Labelled = PendingQueried.empty() || PendingQueried[Slot] != 0;
     const Config &Conf = Pool[PoolIdx];
     PickOutcome O = [&] {
+      if (!Labelled)
+        return PickOutcome{!Revisit, false, Revisit};
       auto It = ObsCount.find(PoolIdx);
       return pickOutcome(Plan, Revisit,
                          It == ObsCount.end() ? 0 : It->second);
     }();
 
-    if (Plan.PlanKind == SamplingPlan::Kind::Fixed) {
-      double Y = arithmeticMean(Costs.data() + Slot * PerConfig, PerConfig);
+    if (!Labelled) {
+      ++Stats.Skips;
+    } else if (Plan.PlanKind == SamplingPlan::Kind::Fixed) {
+      double Y = arithmeticMean(Costs.data() + Cursor, PerConfig);
+      Cursor += PerConfig;
       Stats.Observations += PerConfig;
       ++Stats.DistinctExamples;
       Model.update(featuresOf(Conf), Y);
+      if (Policy)
+        Policy->onLabel(Y);
     } else {
-      double Y = Costs[Slot];
+      double Y = Costs[Cursor++];
       ++Stats.Observations;
       Model.update(featuresOf(Conf), Y);
+      if (Policy)
+        Policy->onLabel(Y);
       ++ObsCount[PoolIdx];
       if (Revisit)
         ++Stats.Revisits;
       else
         ++Stats.DistinctExamples;
-      if (O.JoinsRevisitable)
-        Revisitable.push_back(PoolIdx);
-      if (O.LeavesRevisitable) {
-        auto It = std::find(Revisitable.begin(), Revisitable.end(), PoolIdx);
-        if (It != Revisitable.end()) {
-          *It = Revisitable.back();
-          Revisitable.pop_back();
-        }
-      }
     }
 
+    if (O.JoinsRevisitable)
+      Revisitable.push_back(PoolIdx);
+    if (O.LeavesRevisitable) {
+      auto It = std::find(Revisitable.begin(), Revisitable.end(), PoolIdx);
+      if (It != Revisitable.end()) {
+        *It = Revisitable.back();
+        Revisitable.pop_back();
+      }
+    }
     if (O.TakesUnseen) {
       // Remove the configuration from the unseen pool.
       auto It = std::find(Unseen.begin(), Unseen.end(), PoolIdx);
@@ -312,10 +359,14 @@ bool ActiveLearner::step(unsigned Batch) {
   // Measure through the virtual profiler.  Its draws are counter-based
   // per configuration, so measuring the whole suggestion here — after
   // all of suggest()'s selection draws — yields values bit-identical to
-  // the historical interleaved select/measure loop.
+  // the historical interleaved select/measure loop.  A Skip-phase
+  // suggestion has nothing to measure: the empty cost vector still has
+  // to be observed to advance past the declined picks.
   std::vector<double> Costs;
-  if (S.Phase == SuggestPhase::Refine &&
-      Plan.PlanKind == SamplingPlan::Kind::Sequential) {
+  if (S.Configs.empty()) {
+    // nothing to measure
+  } else if (S.Phase == SuggestPhase::Refine &&
+             Plan.PlanKind == SamplingPlan::Kind::Sequential) {
     // One observation per pick; sharded across the scheduler.
     Costs = Prof.measureBatch(S.Configs, Workers);
   } else {

@@ -42,12 +42,14 @@
 #ifndef ALIC_CORE_ACTIVELEARNER_H
 #define ALIC_CORE_ACTIVELEARNER_H
 
+#include "core/QueryPolicy.h"
 #include "measure/Profiler.h"
 #include "model/SurrogateModel.h"
 #include "tunable/Normalizer.h"
 #include "tunable/ParamSpace.h"
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -100,20 +102,29 @@ struct ActiveLearnerConfig {
   ScorerKind Scorer = ScorerKind::Alc;  ///< candidate-scoring criterion
   unsigned BatchSize = 1;               ///< examples labelled per iteration
   uint64_t Seed = 1;                    ///< root of every random stream
+  /// Whether each model-guided pick is measured or skipped (QueryPolicy.h).
+  /// The default (Always) keeps the loop bit-identical to a build without
+  /// query policies.
+  QueryPolicyConfig Query;
 };
 
 /// Progress counters.
 struct LearnerStats {
-  size_t Iterations = 0;       ///< model updates performed (excl. seeding)
+  size_t Iterations = 0;       ///< refine picks consumed (excl. seeding),
+                               ///< queried *or* skipped
   size_t DistinctExamples = 0; ///< unique configurations observed
   size_t Revisits = 0;         ///< re-measurements of known configurations
   size_t Observations = 0;     ///< total profiler runs (incl. seeding)
+  size_t Skips = 0;            ///< picks the query policy declined to label
 };
 
 /// Where a Suggestion sits in the session lifecycle.
 enum class SuggestPhase {
   Explore, ///< pre-fit seeding: measure ninit configs, no model involved
   Refine,  ///< model-guided selection (the steady state of Alg. 1)
+  Skip,    ///< the query policy declined every pick this iteration:
+           ///< nothing to measure, but the suggestion still carries a
+           ///< ticket that must be observed (with zero costs) to advance
   Done,    ///< completion criterion met; nothing to measure
 };
 
@@ -137,8 +148,16 @@ struct Suggestion {
 
   /// Measurements wanted per configuration.  observe() expects exactly
   /// Configs.size() * ObservationsPerConfig costs, grouped by
-  /// configuration (all costs for Configs[0] first).
+  /// configuration (all costs for Configs[0] first).  In particular a
+  /// Skip-phase suggestion (Configs empty) must be observed with an
+  /// *empty* cost vector; costs for skipped configurations are rejected.
   unsigned ObservationsPerConfig = 0;
+
+  /// Configurations the query policy declined this iteration (empty under
+  /// the default Always policy).  They are consumed — removed from the
+  /// candidate pool, counted in LearnerStats::Skips — but must not be
+  /// measured; any costs passed to observe() pair with Configs only.
+  std::vector<Config> Skipped;
 };
 
 /// The active-learning loop of Algorithm 1.
@@ -188,7 +207,11 @@ public:
   /// the first call returns the ninit seed configurations (Explore — the
   /// model is untouched until their costs arrive); later calls run
   /// candidate assembly and scoring for up to \p Batch picks (Refine);
-  /// once the completion criterion holds the phase is Done.  While a
+  /// once the completion criterion holds the phase is Done.  When a
+  /// query policy is configured (Cfg.Query), picks it declines are
+  /// returned in Suggestion::Skipped rather than Configs — and when it
+  /// declines every pick the phase is Skip: nothing to measure, but the
+  /// ticket must still be observed (with no costs) to advance.  While a
   /// suggestion is outstanding (issued but not yet observed) this is
   /// idempotent: it returns the same suggestion again and ignores
   /// \p Batch, so a client that lost a reply can simply re-ask.  The
@@ -204,9 +227,13 @@ public:
   /// and advances all bookkeeping.  \p Ticket must be the outstanding
   /// suggestion's ticket and \p Costs must hold exactly
   /// Configs.size() * ObservationsPerConfig values grouped by
-  /// configuration; returns false (and changes nothing) otherwise.
-  /// Deterministic: no random draws happen here, so replaying a recorded
-  /// cost sequence reproduces the learner's state bit-identically.
+  /// configuration; returns false (and changes nothing) otherwise.  Costs
+  /// pair with the *queried* configurations only: suggestions whose picks
+  /// were all declined by the query policy (phase Skip) must be observed
+  /// with an empty cost vector — supplying costs for skipped configs is
+  /// rejected.  Deterministic: no random draws happen here, so replaying
+  /// a recorded cost sequence reproduces the learner's state (including
+  /// every skip decision) bit-identically.
   bool observe(uint64_t Ticket, const std::vector<double> &Costs);
 
   /// Installs (or removes, with nullptr) the scheduler.  It shards
@@ -227,6 +254,12 @@ public:
 
   /// True while a suggestion has been issued but not yet observed.
   bool suggestionOutstanding() const { return HasOutstanding; }
+
+  /// The outstanding suggestion without issuing a new one; nullptr when
+  /// none is outstanding (read-only peek for status reporting).
+  const Suggestion *outstanding() const {
+    return HasOutstanding ? &Outstanding : nullptr;
+  }
 
   /// Cumulative virtual profiling cost (the paper's evaluation-time axis).
   /// Only the batch step() path charges this ledger; sessions driven via
@@ -263,10 +296,18 @@ private:
   std::vector<uint32_t> Revisitable;
   std::unordered_map<uint32_t, unsigned> ObsCount;
 
-  /// Pool indices behind the outstanding suggestion, in Configs order
-  /// (with, for Refine, whether each pick is a revisit).
+  /// Query policy consulted on refine picks; null under Always (the fast
+  /// path then never touches policy code).
+  std::unique_ptr<QueryPolicy> Policy;
+
+  /// Pool indices behind the outstanding suggestion, in *pick* order —
+  /// queried and skipped picks interleaved as selected (with, for Refine,
+  /// whether each pick is a revisit and whether it is to be measured).
+  /// observe() walks these in order, consuming costs only for queried
+  /// picks, so skip bookkeeping replays deterministically.
   std::vector<uint32_t> PendingIdx;
   std::vector<uint8_t> PendingRevisit;
+  std::vector<uint8_t> PendingQueried;
   Suggestion Outstanding;
   bool HasOutstanding = false;
   uint64_t NextTicket = 1;

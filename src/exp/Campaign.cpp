@@ -73,6 +73,16 @@ std::vector<std::string> CampaignSpec::benchmarkList() const {
   return Benchmarks.empty() ? spaptBenchmarkNames() : Benchmarks;
 }
 
+std::vector<QueryPolicyConfig> CampaignSpec::policyList() const {
+  return Policies.empty() ? std::vector<QueryPolicyConfig>{QueryPolicyConfig()}
+                          : Policies;
+}
+
+bool CampaignSpec::defaultPolicyAxis() const {
+  std::vector<QueryPolicyConfig> List = policyList();
+  return List.size() == 1 && List[0].Kind == QueryPolicyKind::Always;
+}
+
 unsigned CampaignSpec::repetitions() const {
   unsigned Reps = Repetitions ? Repetitions : Scale.Repetitions;
   return Reps ? Reps : 1;
@@ -102,9 +112,15 @@ std::string CampaignCell::key(const CampaignSpec &Spec) const {
       formatString("fp=%016llx", (unsigned long long)scaleFingerprint(Spec));
   if (CellKind == Kind::Noise)
     return "noise|" + Benchmark + "|" + Fp;
+  // Always cells keep the pre-policy key so ledgers written before the
+  // policy axis stay valid and policy sweeps share their baseline cells.
+  std::string PolicySegment = Policy.Kind == QueryPolicyKind::Always
+                                  ? ""
+                                  : "q=" + queryPolicyToken(Policy) + "|";
   return "run|" + Benchmark + "|" + modelToken(Model) + "|" +
          scorerToken(Scorer) + "|b" + std::to_string(BatchSize) + "|" +
-         planToken(Plan) + "|r" + std::to_string(Rep) + "|" + Fp;
+         planToken(Plan) + "|" + PolicySegment + "r" + std::to_string(Rep) +
+         "|" + Fp;
 }
 
 const RunResult *ComboResult::planResult(const CampaignSpec &Spec,
@@ -123,22 +139,25 @@ const RunResult *ComboResult::planResult(const CampaignSpec &Spec,
 std::vector<CampaignCell> alic::expandCells(const CampaignSpec &Spec) {
   std::vector<CampaignCell> Cells;
   unsigned Reps = Spec.repetitions();
+  std::vector<QueryPolicyConfig> Policies = Spec.policyList();
   for (const std::string &Benchmark : Spec.benchmarkList()) {
     for (ModelKind Model : Spec.Models)
       for (ScorerKind Scorer : Spec.Scorers)
         for (unsigned Batch : Spec.BatchSizes)
           for (const SamplingPlan &Plan : Spec.Plans)
-            for (unsigned Rep = 0; Rep != Reps; ++Rep) {
-              CampaignCell C;
-              C.CellKind = CampaignCell::Kind::Run;
-              C.Benchmark = Benchmark;
-              C.Model = Model;
-              C.Scorer = Scorer;
-              C.BatchSize = Batch;
-              C.Plan = Plan;
-              C.Rep = Rep;
-              Cells.push_back(std::move(C));
-            }
+            for (const QueryPolicyConfig &Policy : Policies)
+              for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+                CampaignCell C;
+                C.CellKind = CampaignCell::Kind::Run;
+                C.Benchmark = Benchmark;
+                C.Model = Model;
+                C.Scorer = Scorer;
+                C.BatchSize = Batch;
+                C.Plan = Plan;
+                C.Policy = Policy;
+                C.Rep = Rep;
+                Cells.push_back(std::move(C));
+              }
   }
   if (Spec.NoiseCells)
     for (const std::string &Benchmark : Spec.benchmarkList()) {
@@ -174,6 +193,10 @@ std::string cellLine(const std::string &Key, CampaignCell::Kind Kind,
                        "\"revisits\":%zu,\"observations\":%zu",
                        R.Stats.Iterations, R.Stats.DistinctExamples,
                        R.Stats.Revisits, R.Stats.Observations);
+  // Only policy cells skip; omitting the zero keeps pre-policy ledger
+  // lines (and Always cells' fresh lines) byte-identical.
+  if (R.Stats.Skips)
+    Line += formatString(",\"skips\":%zu", R.Stats.Skips);
   Line += ",\"final_rmse\":" + formatJsonDouble(R.FinalRmse);
   Line += ",\"total_cost_seconds\":" + formatJsonDouble(R.TotalCostSeconds);
   Line += ",\"curve\":[";
@@ -224,6 +247,10 @@ bool parseCellLine(const std::string &Line, std::string &Key,
   R.Stats.DistinctExamples = size_t(Distinct);
   R.Stats.Revisits = size_t(Revisits);
   R.Stats.Observations = size_t(Observations);
+  double Skips = 0; // optional: absent in pre-policy ledgers and 0-skip cells
+  if (Root.field("skips") && !jsonNumberField(Root, "skips", Skips))
+    return false;
+  R.Stats.Skips = size_t(Skips);
   const JsonValue *Curve = Root.field("curve");
   if (!Curve || Curve->K != JsonValue::Kind::Array || Curve->Items.empty())
     return false;
@@ -317,6 +344,7 @@ CellResult computeRunCell(const CampaignSpec &Spec, const CampaignCell &Cell,
   Options.Model = Cell.Model;
   Options.Learner.Scorer = Cell.Scorer;
   Options.Learner.BatchSize = Cell.BatchSize;
+  Options.Learner.Query = Cell.Policy;
   // Nested parallelism: this cell already runs as a scheduler task, and
   // its learner forks particle shards, scoring shards, and batched
   // profiler draws back onto the same pool — TaskGroup::wait helps
@@ -589,53 +617,57 @@ bool alic::aggregateCampaign(const CampaignSpec &Spec,
       return false;
 
   unsigned Reps = Spec.repetitions();
+  std::vector<QueryPolicyConfig> Policies = Spec.policyList();
   std::vector<double> Speedups;
   std::vector<std::string> RunBenchmarks =
       Spec.Plans.empty() ? std::vector<std::string>() : Spec.benchmarkList();
   for (const std::string &Benchmark : RunBenchmarks)
     for (ModelKind Model : Spec.Models)
       for (ScorerKind Scorer : Spec.Scorers)
-        for (unsigned Batch : Spec.BatchSizes) {
-          ComboResult Combo;
-          Combo.Benchmark = Benchmark;
-          Combo.Model = Model;
-          Combo.Scorer = Scorer;
-          Combo.BatchSize = Batch;
-          for (const SamplingPlan &Plan : Spec.Plans) {
-            std::vector<RunResult> Runs;
-            Runs.reserve(Reps);
-            for (unsigned Rep = 0; Rep != Reps; ++Rep) {
-              CampaignCell Cell;
-              Cell.CellKind = CampaignCell::Kind::Run;
-              Cell.Benchmark = Benchmark;
-              Cell.Model = Model;
-              Cell.Scorer = Scorer;
-              Cell.BatchSize = Batch;
-              Cell.Plan = Plan;
-              Cell.Rep = Rep;
-              Runs.push_back(Ledger.at(Cell.key(Spec)).Run);
+        for (unsigned Batch : Spec.BatchSizes)
+          for (const QueryPolicyConfig &Policy : Policies) {
+            ComboResult Combo;
+            Combo.Benchmark = Benchmark;
+            Combo.Model = Model;
+            Combo.Scorer = Scorer;
+            Combo.BatchSize = Batch;
+            Combo.Policy = Policy;
+            for (const SamplingPlan &Plan : Spec.Plans) {
+              std::vector<RunResult> Runs;
+              Runs.reserve(Reps);
+              for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+                CampaignCell Cell;
+                Cell.CellKind = CampaignCell::Kind::Run;
+                Cell.Benchmark = Benchmark;
+                Cell.Model = Model;
+                Cell.Scorer = Scorer;
+                Cell.BatchSize = Batch;
+                Cell.Plan = Plan;
+                Cell.Policy = Policy;
+                Cell.Rep = Rep;
+                Runs.push_back(Ledger.at(Cell.key(Spec)).Run);
+              }
+              Combo.PlanResults.push_back(averageRuns(Runs));
             }
-            Combo.PlanResults.push_back(averageRuns(Runs));
+            // Table 1 semantics: first fixed plan is the baseline, first
+            // sequential plan is "ours".
+            int BaselineIdx = -1, OursIdx = -1;
+            for (size_t I = 0; I != Spec.Plans.size(); ++I) {
+              if (Spec.Plans[I].PlanKind == SamplingPlan::Kind::Fixed &&
+                  BaselineIdx < 0)
+                BaselineIdx = int(I);
+              if (Spec.Plans[I].PlanKind == SamplingPlan::Kind::Sequential &&
+                  OursIdx < 0)
+                OursIdx = int(I);
+            }
+            if (BaselineIdx >= 0 && OursIdx >= 0) {
+              Combo.Speedup = compareCurves(Combo.PlanResults[BaselineIdx],
+                                            Combo.PlanResults[OursIdx]);
+              if (Combo.Speedup.Speedup > 0.0)
+                Speedups.push_back(Combo.Speedup.Speedup);
+            }
+            Out.Combos.push_back(std::move(Combo));
           }
-          // Table 1 semantics: first fixed plan is the baseline, first
-          // sequential plan is "ours".
-          int BaselineIdx = -1, OursIdx = -1;
-          for (size_t I = 0; I != Spec.Plans.size(); ++I) {
-            if (Spec.Plans[I].PlanKind == SamplingPlan::Kind::Fixed &&
-                BaselineIdx < 0)
-              BaselineIdx = int(I);
-            if (Spec.Plans[I].PlanKind == SamplingPlan::Kind::Sequential &&
-                OursIdx < 0)
-              OursIdx = int(I);
-          }
-          if (BaselineIdx >= 0 && OursIdx >= 0) {
-            Combo.Speedup = compareCurves(Combo.PlanResults[BaselineIdx],
-                                          Combo.PlanResults[OursIdx]);
-            if (Combo.Speedup.Speedup > 0.0)
-              Speedups.push_back(Combo.Speedup.Speedup);
-          }
-          Out.Combos.push_back(std::move(Combo));
-        }
 
   if (Spec.NoiseCells)
     for (const std::string &Benchmark : Spec.benchmarkList()) {
@@ -721,9 +753,14 @@ std::string alic::campaignJson(const CampaignSpec &Spec,
   Json += "],\n";
   size_t NumCells = Names.size() * Spec.Models.size() * Spec.Scorers.size() *
                         Spec.BatchSizes.size() * Spec.Plans.size() *
-                        Spec.repetitions() +
+                        Spec.policyList().size() * Spec.repetitions() +
                     (Spec.NoiseCells ? Names.size() : 0);
   Json += formatString("  \"cells\": %zu,\n", NumCells);
+
+  // Policy fields appear only when the spec sweeps a non-default policy
+  // axis, so the default (Always-only) aggregate stays byte-identical to
+  // aggregates written before the axis existed.
+  bool EmitPolicy = !Spec.defaultPolicyAxis();
 
   Json += "  \"combos\": [\n";
   for (size_t C = 0; C != Result.Combos.size(); ++C) {
@@ -731,7 +768,10 @@ std::string alic::campaignJson(const CampaignSpec &Spec,
     Json += "    {\"benchmark\": \"" + Combo.Benchmark + "\", \"model\": \"" +
             modelToken(Combo.Model) + "\", \"scorer\": \"" +
             scorerToken(Combo.Scorer) + "\"";
-    Json += formatString(", \"batch\": %u,\n", Combo.BatchSize);
+    Json += formatString(", \"batch\": %u", Combo.BatchSize);
+    if (EmitPolicy)
+      Json += ", \"policy\": \"" + queryPolicyToken(Combo.Policy) + "\"";
+    Json += ",\n";
     Json += "     \"plans\": [\n";
     for (size_t P = 0; P != Combo.PlanResults.size(); ++P) {
       const RunResult &Run = Combo.PlanResults[P];
@@ -741,6 +781,8 @@ std::string alic::campaignJson(const CampaignSpec &Spec,
           ", \"total_cost_seconds\": " + formatJsonDouble(Run.TotalCostSeconds);
       Json += formatString(", \"iterations\": %zu, \"observations\": %zu",
                            Run.Stats.Iterations, Run.Stats.Observations);
+      if (EmitPolicy)
+        Json += formatString(", \"skips\": %zu", Run.Stats.Skips);
       Json += ",\n       \"curve\": ";
       appendCurveJson(Json, Run.Curve);
       Json += P + 1 == Combo.PlanResults.size() ? "}\n" : "},\n";

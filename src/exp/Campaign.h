@@ -60,45 +60,66 @@ inline constexpr uint64_t CampaignRunSeed = 0x0911fe;
 /// Figure 6 (35 observations, 1 observation, variable).
 struct CampaignSpec {
   std::vector<std::string> Benchmarks; ///< empty = all eleven, Table 1 order
-  std::vector<ModelKind> Models = {ModelKind::DynaTree};
-  std::vector<ScorerKind> Scorers = {ScorerKind::Alc};
-  std::vector<unsigned> BatchSizes = {1};
+  std::vector<ModelKind> Models = {ModelKind::DynaTree};   ///< surrogates
+  std::vector<ScorerKind> Scorers = {ScorerKind::Alc};     ///< scorers
+  std::vector<unsigned> BatchSizes = {1};                  ///< picks/step
   /// Sampling plans each combo runs.  May be empty (noise-only campaigns,
   /// e.g. the Table 2 renderer).
   std::vector<SamplingPlan> Plans = {SamplingPlan::fixed(35),
                                      SamplingPlan::fixed(1),
                                      SamplingPlan::sequential(35)};
+  /// Query policies each combo runs (core/QueryPolicy.h).  The default —
+  /// a single Always policy — is the legacy spec shape: its cell keys and
+  /// aggregate JSON carry no policy token, so ledgers and committed
+  /// BENCH_campaign.json baselines from before the policy axis stay
+  /// byte-identical (and Always cells are shared with policy sweeps).
+  std::vector<QueryPolicyConfig> Policies = {QueryPolicyConfig()};
   /// Seeds per combo x plan; 0 = Scale.Repetitions.  Cell seeds derive as
   /// hashCombine({BaseRunSeed, rep}), matching runAveraged.
   unsigned Repetitions = 0;
-  ExperimentScale Scale;
+  ExperimentScale Scale;            ///< size/budget preset the cells run at
   std::string ScaleName = "custom"; ///< label only (JSON "scale" field)
-  uint64_t DatasetSeed = CampaignDatasetSeed;
-  uint64_t BaseRunSeed = CampaignRunSeed;
+  uint64_t DatasetSeed = CampaignDatasetSeed; ///< dataset build seed
+  uint64_t BaseRunSeed = CampaignRunSeed;     ///< base of per-cell run seeds
   /// Also run one noise-summary cell per benchmark (the Table 2
   /// measurement: variance and CI/mean spread across configurations).
   bool NoiseCells = true;
 
   /// Benchmarks with empty defaulted to the full suite.
   std::vector<std::string> benchmarkList() const;
+  /// Policies with empty defaulted to the single Always default.
+  std::vector<QueryPolicyConfig> policyList() const;
+  /// True when the policy axis is the single default Always policy (the
+  /// legacy spec shape — no policy tokens in keys or JSON).
+  bool defaultPolicyAxis() const;
+  /// Repetitions with 0 defaulted to Scale.Repetitions (floor 1).
   unsigned repetitions() const;
 };
 
 /// One independent unit of campaign work.
 struct CampaignCell {
-  enum class Kind { Run, Noise };
-  Kind CellKind = Kind::Run;
-  std::string Benchmark;
-  ModelKind Model = ModelKind::DynaTree;
-  ScorerKind Scorer = ScorerKind::Alc;
-  unsigned BatchSize = 1;
-  SamplingPlan Plan;
-  unsigned Rep = 0;
+  /// A cell is either one learning run or one noise summary.
+  enum class Kind {
+    Run,  ///< single-seed learning run (one point of the cross-product)
+    Noise ///< per-benchmark noise-spread measurement (Table 2)
+  };
+  Kind CellKind = Kind::Run;             ///< which kind this cell is
+  std::string Benchmark;                 ///< SPAPT benchmark name
+  ModelKind Model = ModelKind::DynaTree; ///< surrogate (Run cells)
+  ScorerKind Scorer = ScorerKind::Alc;   ///< scorer (Run cells)
+  unsigned BatchSize = 1;                ///< picks per step (Run cells)
+  SamplingPlan Plan;                     ///< sampling plan (Run cells)
+  /// Query policy the cell's learner runs (Always by default).
+  QueryPolicyConfig Policy;
+  unsigned Rep = 0; ///< repetition index (seed derives from it)
 
   /// Canonical ledger key, e.g.
-  /// "run|atax|dynatree|alc|b1|seq:35|r0|fp=0123456789abcdef".  The
-  /// fingerprint hashes every scale parameter plus the dataset and run
-  /// seeds, so a ledger can host cells from many scales without collisions.
+  /// "run|atax|dynatree|alc|b1|seq:35|r0|fp=0123456789abcdef".  A
+  /// non-Always query policy adds a "q=<token>" segment before the rep
+  /// (Always cells keep the legacy key, so policy sweeps share them with
+  /// plain campaigns).  The fingerprint hashes every scale parameter plus
+  /// the dataset and run seeds, so a ledger can host cells from many
+  /// scales without collisions.
   std::string key(const CampaignSpec &Spec) const;
 };
 
@@ -111,18 +132,21 @@ struct CellResult {
 
 /// Per-benchmark noise spread (Table 2 semantics).
 struct NoiseSummary {
-  std::string Benchmark;
-  double VarMin = 0, VarMean = 0, VarMax = 0;
-  double Ci35Min = 0, Ci35Mean = 0, Ci35Max = 0;
-  double Ci5Min = 0, Ci5Mean = 0, Ci5Max = 0;
+  std::string Benchmark; ///< SPAPT benchmark name
+  double VarMin = 0, VarMean = 0, VarMax = 0;    ///< runtime variance spread
+  double Ci35Min = 0, Ci35Mean = 0, Ci35Max = 0; ///< CI/mean at 35 samples
+  double Ci5Min = 0, Ci5Mean = 0, Ci5Max = 0;    ///< CI/mean at 5 samples
 };
 
-/// Seed-averaged curves for one (benchmark, model, scorer, batch) combo.
+/// Seed-averaged curves for one (benchmark, model, scorer, batch, query
+/// policy) combo.
 struct ComboResult {
-  std::string Benchmark;
-  ModelKind Model = ModelKind::DynaTree;
-  ScorerKind Scorer = ScorerKind::Alc;
-  unsigned BatchSize = 1;
+  std::string Benchmark;                 ///< SPAPT benchmark name
+  ModelKind Model = ModelKind::DynaTree; ///< surrogate of the combo
+  ScorerKind Scorer = ScorerKind::Alc;   ///< scorer of the combo
+  unsigned BatchSize = 1;                ///< picks per step of the combo
+  /// Query policy of every cell in this combo (Always by default).
+  QueryPolicyConfig Policy;
   /// One averaged RunResult per spec plan, in spec order.
   std::vector<RunResult> PlanResults;
   /// Lowest-common-error comparison (Table 1 semantics) of the first
@@ -196,7 +220,8 @@ struct CampaignProgress {
 };
 
 /// Expands \p Spec into its cells, in canonical (deterministic) order:
-/// benchmarks x models x scorers x batches x plans x reps, then noise.
+/// benchmarks x models x scorers x batches x plans x policies x reps,
+/// then noise.
 std::vector<CampaignCell> expandCells(const CampaignSpec &Spec);
 
 /// Runs every spec cell missing from the ledger, sharding across

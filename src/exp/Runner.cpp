@@ -142,6 +142,7 @@ RunResult alic::averageRuns(const std::vector<RunResult> &Runs) {
     Avg.Stats.DistinctExamples += R.Stats.DistinctExamples;
     Avg.Stats.Revisits += R.Stats.Revisits;
     Avg.Stats.Observations += R.Stats.Observations;
+    Avg.Stats.Skips += R.Stats.Skips;
     Avg.FinalRmse += R.FinalRmse;
     Avg.TotalCostSeconds += R.TotalCostSeconds;
   }
@@ -150,6 +151,7 @@ RunResult alic::averageRuns(const std::vector<RunResult> &Runs) {
   Avg.Stats.DistinctExamples /= N;
   Avg.Stats.Revisits /= N;
   Avg.Stats.Observations /= N;
+  Avg.Stats.Skips /= N;
   Avg.FinalRmse /= double(N);
   Avg.TotalCostSeconds /= double(N);
   return Avg;

@@ -49,11 +49,12 @@ public:
 
 /// Accumulates virtual seconds spent compiling and running binaries.
 struct CostLedger {
-  double CompileSeconds = 0.0;
-  double RunSeconds = 0.0;
-  uint64_t Compilations = 0;
-  uint64_t Runs = 0;
+  double CompileSeconds = 0.0; ///< total virtual compile time charged
+  double RunSeconds = 0.0;     ///< total virtual runtime charged
+  uint64_t Compilations = 0;   ///< distinct configurations compiled
+  uint64_t Runs = 0;           ///< noisy observations drawn
 
+  /// The paper's "evaluation time" axis: compile plus run seconds.
   double totalSeconds() const { return CompileSeconds + RunSeconds; }
 };
 

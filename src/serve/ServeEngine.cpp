@@ -18,12 +18,19 @@ using namespace alic;
 namespace {
 
 constexpr uint32_t SnapshotMagic = 0x414c5356; // "ALSV"
-constexpr uint32_t SnapshotVersion = 1;
+// Version 2 added the query-policy fields; older snapshots are treated
+// as unreadable (skipped on restore), never misparsed.
+constexpr uint32_t SnapshotVersion = 2;
 
 void writeSpec(ByteWriter &W, const SessionSpec &Spec) {
   W.writeString(Spec.Benchmark);
   W.writeU8(uint8_t(Spec.Model));
   W.writeU8(uint8_t(Spec.Scorer));
+  W.writeU8(uint8_t(Spec.Query.Kind));
+  W.writeDouble(Spec.Query.Mellowness);
+  W.writeDouble(Spec.Query.RangeC1);
+  W.writeDouble(Spec.Query.AbsFloor);
+  W.writeDouble(Spec.Query.RelFloor);
   W.writeU8(uint8_t(Spec.Plan.PlanKind));
   W.writeU32(Spec.Plan.FixedObservations);
   W.writeU32(Spec.Plan.MaxObservationsPerExample);
@@ -47,11 +54,16 @@ void writeSpec(ByteWriter &W, const SessionSpec &Spec) {
 }
 
 bool readSpec(ByteReader &R, SessionSpec &Spec) {
-  uint8_t Model = 0, Scorer = 0, PlanKind = 0;
+  uint8_t Model = 0, Scorer = 0, PolicyKind = 0, PlanKind = 0;
   uint32_t FixedObs = 0, MaxObs = 0, Batch = 0;
   R.readString(Spec.Benchmark);
   R.readU8(Model);
   R.readU8(Scorer);
+  R.readU8(PolicyKind);
+  R.readDouble(Spec.Query.Mellowness);
+  R.readDouble(Spec.Query.RangeC1);
+  R.readDouble(Spec.Query.AbsFloor);
+  R.readDouble(Spec.Query.RelFloor);
   R.readU8(PlanKind);
   R.readU32(FixedObs);
   R.readU32(MaxObs);
@@ -73,10 +85,11 @@ bool readSpec(ByteReader &R, SessionSpec &Spec) {
   R.readU32(S.EvalEvery);
   R.readU64(TestSubset);
   R.readU32(S.ObservationCap);
-  if (!R.ok() || Model > 1 || Scorer > 2 || PlanKind > 1)
+  if (!R.ok() || Model > 1 || Scorer > 2 || PolicyKind > 2 || PlanKind > 1)
     return false;
   Spec.Model = ModelKind(Model);
   Spec.Scorer = ScorerKind(Scorer);
+  Spec.Query.Kind = QueryPolicyKind(PolicyKind);
   Spec.Plan.PlanKind = SamplingPlan::Kind(PlanKind);
   Spec.Plan.FixedObservations = FixedObs;
   Spec.Plan.MaxObservationsPerExample = MaxObs;
@@ -186,6 +199,7 @@ ServeEngine::buildSession(const SessionSpec &Spec, std::string &Err) {
   Cfg.Scorer = Spec.Scorer;
   Cfg.BatchSize = std::max(1u, Spec.BatchSize);
   Cfg.Seed = Spec.Seed;
+  Cfg.Query = Spec.Query;
   S->Learner = std::make_unique<ActiveLearner>(
       *S->Bench, *S->Model, S->Data->Norm, S->Data->TrainPool, Spec.Plan,
       Cfg, Sched.get());
@@ -360,6 +374,10 @@ bool ServeEngine::sessionInfo(const std::string &Id, SessionInfo &Out,
     Out.Phase = SuggestPhase::Done;
   else if (!S->Learner->seeded())
     Out.Phase = SuggestPhase::Explore;
+  else if (const Suggestion *Cur = S->Learner->outstanding())
+    // Surface an all-skip round as such: the client's next move is an
+    // empty observe, not a measurement.
+    Out.Phase = Cur->Phase;
   else
     Out.Phase = SuggestPhase::Refine;
   return true;

@@ -73,6 +73,10 @@ struct SessionSpec {
   /// Seed of the shared dataset's sampling streams; sessions sharing
   /// (Benchmark, Scale, DatasetSeed) share one in-memory dataset.
   uint64_t DatasetSeed = 0xa11cebe7;
+  /// Query policy deciding whether each model-guided pick is measured or
+  /// skipped (core/QueryPolicy.h).  Chosen at `open`; skip decisions are
+  /// visible in suggest replies and replay deterministically on restore.
+  QueryPolicyConfig Query;
   /// Size parameters (pool size, ninit, nmax, nc, particle count, ...).
   ExperimentScale Scale = ExperimentScale::fromEnv();
 };
@@ -140,9 +144,11 @@ public:
   /// Copies session \p Id's next suggestion into \p Out: the first call
   /// returns the seed configurations (explore phase), later calls run
   /// model-guided selection, and a completed session returns an empty
-  /// suggestion with SuggestPhase::Done.  Idempotent while a suggestion
-  /// is outstanding — a client that lost the reply can re-ask and
-  /// receives the identical ticket and configs.
+  /// suggestion with SuggestPhase::Done.  With a non-Always query policy
+  /// a suggestion may carry skipped configs (Suggestion::Skipped) or be
+  /// all-skip (SuggestPhase::Skip, observed with zero costs).  Idempotent
+  /// while a suggestion is outstanding — a client that lost the reply can
+  /// re-ask and receives the identical ticket, configs, and skips.
   bool suggest(const std::string &Id, Suggestion &Out, std::string &Err);
 
   /// Reports measured costs for the outstanding suggestion of session

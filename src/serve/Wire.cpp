@@ -21,6 +21,8 @@ const char *phaseToken(SuggestPhase Phase) {
     return "explore";
   case SuggestPhase::Refine:
     return "refine";
+  case SuggestPhase::Skip:
+    return "skip";
   case SuggestPhase::Done:
     return "done";
   }
@@ -111,6 +113,17 @@ bool parseSpec(const JsonValue &Root, SessionSpec &Spec, std::string &Err) {
     }
   }
 
+  // Query policies travel in their campaign token form: "always",
+  // "alm[:abs[:rel]]", or "cost[:c0[:c1]]" (core/QueryPolicy.h).
+  std::string Policy;
+  if (!optionalString(*S, "policy", Policy, Err))
+    return false;
+  if (!Policy.empty() && !parseQueryPolicy(Policy, Spec.Query)) {
+    Err = "unknown policy '" + Policy + "' (want always|alm[:abs[:rel]]|" +
+          "cost[:c0[:c1]])";
+    return false;
+  }
+
   uint64_t Batch = Spec.BatchSize;
   if (!optionalU64(*S, "batch", Batch, Err))
     return false;
@@ -130,6 +143,20 @@ bool parseSpec(const JsonValue &Root, SessionSpec &Spec, std::string &Err) {
   return true;
 }
 
+void appendConfigArray(std::string &Reply, const std::vector<Config> &Configs) {
+  for (size_t I = 0; I != Configs.size(); ++I) {
+    if (I)
+      Reply += ",";
+    Reply += "[";
+    for (size_t J = 0; J != Configs[I].size(); ++J) {
+      if (J)
+        Reply += ",";
+      Reply += std::to_string(Configs[I][J]);
+    }
+    Reply += "]";
+  }
+}
+
 std::string suggestionReply(const Suggestion &S) {
   std::string Reply = "{\"ok\":true,\"phase\":\"";
   Reply += phaseToken(S.Phase);
@@ -137,17 +164,12 @@ std::string suggestionReply(const Suggestion &S) {
   Reply +=
       ",\"observations_per_config\":" + std::to_string(S.ObservationsPerConfig);
   Reply += ",\"configs\":[";
-  for (size_t I = 0; I != S.Configs.size(); ++I) {
-    if (I)
-      Reply += ",";
-    Reply += "[";
-    for (size_t J = 0; J != S.Configs[I].size(); ++J) {
-      if (J)
-        Reply += ",";
-      Reply += std::to_string(S.Configs[I][J]);
-    }
-    Reply += "]";
-  }
+  appendConfigArray(Reply, S.Configs);
+  // Declined picks ride along so clients can see (and log) every skip
+  // decision; they must not be measured, and costs pair with "configs"
+  // only.  Always empty under the default Always policy.
+  Reply += "],\"skipped\":[";
+  appendConfigArray(Reply, S.Skipped);
   Reply += "]}";
   return Reply;
 }
@@ -250,6 +272,11 @@ bool alic::handleRequestLine(ServeEngine &Engine, const std::string &Line,
     Reply += ",\"distinct\":" + std::to_string(Info.Stats.DistinctExamples);
     Reply += ",\"revisits\":" + std::to_string(Info.Stats.Revisits);
     Reply += ",\"observations\":" + std::to_string(Info.Stats.Observations);
+    // queries + skips = refine picks consumed (iterations): how many the
+    // query policy labelled vs declined.
+    Reply += ",\"queries\":" +
+             std::to_string(Info.Stats.Iterations - Info.Stats.Skips);
+    Reply += ",\"skips\":" + std::to_string(Info.Stats.Skips);
     Reply += ",\"observes\":" + std::to_string(Info.Observes);
     Reply += ",\"total_cost_seconds\":" + formatJsonDouble(Info.TotalCostSeconds);
     Reply += std::string(",\"done\":") + (Info.Done ? "true" : "false");

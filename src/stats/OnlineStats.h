@@ -23,8 +23,8 @@ namespace alic {
 
 /// Symmetric confidence interval around a sample mean.
 struct ConfidenceInterval {
-  double Lower = 0.0;
-  double Upper = 0.0;
+  double Lower = 0.0; ///< lower bound of the interval
+  double Upper = 0.0; ///< upper bound of the interval
 
   /// Half-width of the interval.
   double halfWidth() const { return 0.5 * (Upper - Lower); }

@@ -285,3 +285,126 @@ TEST(ActiveLearnerTest, PoolExhaustionTerminates) {
   EXPECT_TRUE(L.done());
   EXPECT_LT(L.stats().Iterations, 500u);
 }
+
+//===----------------------------------------------------------------------===//
+// Query policies
+//===----------------------------------------------------------------------===//
+
+TEST(ActiveLearnerTest, AlwaysPolicyBitIdenticalToDefault) {
+  // An explicit Always policy must leave the loop untouched: same RNG
+  // stream, same picks, same model — the default config IS Always, so
+  // this pins that the policy plumbing has no side channel.
+  Fixture F;
+  ActiveLearnerConfig Default = F.config(25);
+  ActiveLearnerConfig Explicit = Default;
+  Explicit.Query.Kind = QueryPolicyKind::Always;
+
+  auto runWith = [&](const ActiveLearnerConfig &Cfg) {
+    DynaTree M(F.modelConfig());
+    ActiveLearner L(*F.B, M, F.D.Norm, F.D.TrainPool,
+                    SamplingPlan::sequential(35), Cfg);
+    while (L.step()) {
+    }
+    EXPECT_EQ(L.stats().Skips, 0u);
+    return std::make_tuple(L.cumulativeCostSeconds(), L.stats().Observations,
+                           L.stats().Revisits,
+                           M.predict(F.D.TestFeatures.front()).Mean);
+  };
+  EXPECT_EQ(runWith(Default), runWith(Explicit));
+}
+
+TEST(ActiveLearnerTest, CostRangeSkipsDeterministicAcrossPools) {
+  // Skip decisions are a pure function of the (deterministic) stream, so
+  // sharded scoring at any worker count must reproduce them bitwise.
+  Fixture F("correlation", 300);
+  ActiveLearnerConfig Cfg = F.config(60);
+  Cfg.CandidatesPerIteration = 100; // several shards per iteration
+  Cfg.Query.Kind = QueryPolicyKind::CostRange;
+
+  auto runWith = [&](Scheduler *Pool) {
+    DynaTree M(F.modelConfig());
+    ActiveLearner L(*F.B, M, F.D.Norm, F.D.TrainPool,
+                    SamplingPlan::sequential(35), Cfg, Pool);
+    while (L.step()) {
+    }
+    return std::make_tuple(L.stats().Skips, L.stats().Observations,
+                           L.cumulativeCostSeconds(),
+                           M.predict(F.D.TestFeatures.front()).Mean);
+  };
+
+  auto Sequential = runWith(nullptr);
+  EXPECT_GT(std::get<0>(Sequential), 0u); // the policy actually skipped
+  for (unsigned Threads : {1u, 8u}) {
+    Scheduler Pool(Threads);
+    EXPECT_EQ(runWith(&Pool), Sequential) << "thread count " << Threads;
+  }
+}
+
+TEST(ActiveLearnerTest, SkipPhaseObservesEmptyCostsOnly) {
+  // A policy that declines everything drives all-skip rounds: phase Skip,
+  // zero observations per config, skipped configs reported.  The ticket
+  // contract still holds — costs for skipped configs are rejected.
+  Fixture F;
+  ActiveLearnerConfig Cfg = F.config(10);
+  Cfg.Query.Kind = QueryPolicyKind::AlmThreshold;
+  Cfg.Query.AbsFloor = 1e30; // unreachable: every refine pick is a skip
+  DynaTree M(F.modelConfig());
+  ActiveLearner L(*F.B, M, F.D.Norm, F.D.TrainPool,
+                  SamplingPlan::sequential(35), Cfg);
+
+  const Suggestion &Seed = L.suggest();
+  ASSERT_EQ(Seed.Phase, SuggestPhase::Explore);
+  std::vector<double> SeedCosts(Seed.Configs.size() *
+                                Seed.ObservationsPerConfig);
+  ASSERT_TRUE(L.observe(Seed.Ticket, SeedCosts));
+  size_t SeedObs = L.stats().Observations;
+
+  const Suggestion &S = L.suggest();
+  ASSERT_EQ(S.Phase, SuggestPhase::Skip);
+  EXPECT_TRUE(S.Configs.empty());
+  EXPECT_FALSE(S.Skipped.empty());
+  EXPECT_EQ(S.ObservationsPerConfig, 0u);
+
+  // Paying for a skipped config is a protocol violation.
+  EXPECT_FALSE(L.observe(S.Ticket, {1.0}));
+  EXPECT_TRUE(L.observe(S.Ticket, {}));
+
+  while (L.step()) {
+  }
+  EXPECT_TRUE(L.done());
+  EXPECT_EQ(L.stats().Skips, 10u);
+  EXPECT_EQ(L.stats().Iterations, 10u);
+  // Not a single refine label was bought.  (The split halves leave
+  // measurement to the caller, so the internal ledger stays empty.)
+  EXPECT_EQ(L.stats().Observations, SeedObs);
+}
+
+TEST(ActiveLearnerTest, CostRangePolicySavesLabelsKeepsTermination) {
+  // The budget is measured in picks, not labels: a skipping run consumes
+  // the same iteration budget while buying strictly fewer observations.
+  Fixture F("correlation", 300);
+  ActiveLearnerConfig Plain = F.config(40);
+  ActiveLearnerConfig Skipping = Plain;
+  Skipping.Query.Kind = QueryPolicyKind::CostRange;
+  // Aggressive constants: the defaults' regret budget is still loose at
+  // this fixture's short stream, and this test is about accounting.
+  Skipping.Query.Mellowness = 0.001;
+  Skipping.Query.RangeC1 = 0.1;
+
+  auto runWith = [&](const ActiveLearnerConfig &Cfg) {
+    DynaTree M(F.modelConfig());
+    ActiveLearner L(*F.B, M, F.D.Norm, F.D.TrainPool,
+                    SamplingPlan::sequential(35), Cfg);
+    while (L.step()) {
+    }
+    EXPECT_TRUE(L.done());
+    EXPECT_EQ(L.stats().Iterations, 40u);
+    return std::make_pair(L.stats().Observations, L.stats().Skips);
+  };
+
+  auto [PlainObs, PlainSkips] = runWith(Plain);
+  auto [SkipObs, Skips] = runWith(Skipping);
+  EXPECT_EQ(PlainSkips, 0u);
+  EXPECT_GT(Skips, 0u);
+  EXPECT_EQ(SkipObs, PlainObs - Skips);
+}

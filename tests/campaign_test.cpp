@@ -429,3 +429,85 @@ TEST(CampaignTest, AggregateMatchesRunAveragedSemantics) {
   }
   std::filesystem::remove_all(Options.StateDir);
 }
+
+//===----------------------------------------------------------------------===//
+// Query-policy axis
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignTest, PolicyAxisKeysAreLegacyStableForAlways) {
+  // Always cells must keep their pre-policy ledger keys (so old ledgers
+  // stay valid and policy sweeps share the baseline cells); non-default
+  // policies get a distinguishing "q=<token>|" segment.
+  CampaignSpec Spec = tinySpec();
+  std::vector<CampaignCell> Cells = expandCells(Spec);
+  ASSERT_FALSE(Cells.empty());
+  for (const CampaignCell &Cell : Cells)
+    EXPECT_EQ(Cell.key(Spec).find("q="), std::string::npos);
+  EXPECT_TRUE(Spec.defaultPolicyAxis());
+
+  QueryPolicyConfig Cost;
+  Cost.Kind = QueryPolicyKind::CostRange;
+  Spec.Policies = {QueryPolicyConfig(), Cost};
+  EXPECT_FALSE(Spec.defaultPolicyAxis());
+  std::vector<CampaignCell> Swept = expandCells(Spec);
+  EXPECT_EQ(Swept.size(), Cells.size() * 2 - 2); // noise cells don't sweep
+  size_t WithSegment = 0;
+  std::set<std::string> Keys;
+  for (const CampaignCell &Cell : Swept) {
+    std::string Key = Cell.key(Spec);
+    EXPECT_TRUE(Keys.insert(Key).second) << "duplicate key " << Key;
+    if (Key.find("q=cost:0.1:0.03|") != std::string::npos)
+      ++WithSegment;
+  }
+  // Exactly the cost-policy run cells carry the segment; the Always
+  // halves' keys are byte-identical to the unswept expansion's.
+  EXPECT_EQ(WithSegment, Cells.size() - 2);
+  for (const CampaignCell &Cell : Cells)
+    EXPECT_TRUE(Keys.count(Cell.key(Spec))) << "legacy key lost";
+}
+
+TEST(CampaignTest, PolicySweepAggregatesSkipsAndStaysLegacyCleanByDefault) {
+  // A policy sweep runs per-policy combos and persists/reloads the skips
+  // counter through the ledger; the default axis emits no policy fields,
+  // keeping pre-policy aggregates byte-identical.
+  CampaignSpec Spec = tinySpec();
+  Spec.Benchmarks = {"mvt"};
+  Spec.Plans = {SamplingPlan::sequential(10)};
+  Spec.Repetitions = 1;
+
+  CampaignOptions Options;
+  Options.StateDir = freshStateDir("policy_sweep");
+  Options.Quiet = true;
+  std::string DefaultJson = runToJson(Spec, Options);
+  EXPECT_EQ(DefaultJson.find("\"policy\""), std::string::npos);
+  EXPECT_EQ(DefaultJson.find("\"skips\""), std::string::npos);
+
+  QueryPolicyConfig Alm;
+  Alm.Kind = QueryPolicyKind::AlmThreshold;
+  Alm.AbsFloor = 1e30; // skip every refine pick: maximal contrast
+  Spec.Policies = {QueryPolicyConfig(), Alm};
+  // Same state dir: the Always cells are reused, only alm cells run.
+  std::string SweptJson = runToJson(Spec, Options);
+  EXPECT_NE(SweptJson.find("\"policy\": \"always\""), std::string::npos);
+  EXPECT_NE(SweptJson.find("\"policy\": \"alm:1e+30:0.05\""),
+            std::string::npos);
+  EXPECT_NE(SweptJson.find("\"skips\""), std::string::npos);
+
+  // Aggregation reloads from the ledger: a second aggregate-only pass
+  // (fresh process state, same dir) must reproduce the bytes, proving
+  // skips survive the cell-line round-trip.
+  CampaignResult Reloaded;
+  ASSERT_TRUE(aggregateCampaign(Spec, Options, Reloaded));
+  EXPECT_EQ(campaignJson(Spec, Reloaded), SweptJson);
+
+  // The all-skip alm run bought no refine labels.
+  const ComboResult *AlmCombo = nullptr;
+  for (const ComboResult &Combo : Reloaded.Combos)
+    if (Combo.Policy.Kind == QueryPolicyKind::AlmThreshold)
+      AlmCombo = &Combo;
+  ASSERT_NE(AlmCombo, nullptr);
+  ASSERT_FALSE(AlmCombo->PlanResults.empty());
+  const RunResult &AlmRun = AlmCombo->PlanResults.front();
+  EXPECT_EQ(AlmRun.Stats.Skips, AlmRun.Stats.Iterations);
+  std::filesystem::remove_all(Options.StateDir);
+}

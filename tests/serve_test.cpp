@@ -71,6 +71,14 @@ std::string fingerprint(const Suggestion &S) {
     for (uint16_t V : C)
       F += std::to_string(V) + ",";
   }
+  // Declined configs are part of the replay contract too: a restored
+  // session must reproduce every skip decision bit-identically.
+  F += "|skipped:";
+  for (const Config &C : S.Skipped) {
+    F += "|";
+    for (uint16_t V : C)
+      F += std::to_string(V) + ",";
+  }
   return F;
 }
 
@@ -563,4 +571,104 @@ TEST(ServeWireTest, ErrorsAndShutdown) {
   bool Shutdown = false;
   EXPECT_TRUE(replyOk(roundTrip(Engine, "{\"op\":\"shutdown\"}", &Shutdown)));
   EXPECT_TRUE(Shutdown);
+}
+
+//===----------------------------------------------------------------------===//
+// Query policies over the serve path
+//===----------------------------------------------------------------------===//
+
+// A cost-range session killed mid-flight must replay every skip decision
+// bit-identically on restore — the skipped configs are in the
+// fingerprint — across worker counts and steal seeds.
+TEST(ServeEngineTest, PolicySkipsReplayIdenticallyAcrossRestarts) {
+  SessionSpec Spec = tinySpec();
+  Spec.Query.Kind = QueryPolicyKind::CostRange;
+  // Aggressive constants: at this tiny stream length the defaults'
+  // regret budget is still loose, and this test needs skips to happen.
+  Spec.Query.Mellowness = 0.001;
+  Spec.Query.RangeC1 = 0.1;
+
+  std::vector<std::string> Reference;
+  {
+    ServeEngine Engine(engineOptions("", 0));
+    std::string Err;
+    ASSERT_TRUE(Engine.openSession("ref", Spec, Err)) << Err;
+    Client C("atax");
+    drain(Engine, "ref", C, Reference);
+    ASSERT_GT(Reference.size(), 4u);
+  }
+  // The policy must have declined something, or this pins nothing.
+  size_t WithSkips = 0;
+  for (const std::string &F : Reference)
+    if (F.find("skipped:|") != std::string::npos)
+      ++WithSkips;
+  ASSERT_GT(WithSkips, 0u);
+
+  struct Variant {
+    unsigned Threads;
+    uint64_t StealSeed;
+    const char *Name;
+  };
+  const Variant Variants[] = {
+      {0, 0x57ea1ull, "w0"},
+      {1, 0x57ea1ull, "w1"},
+      {8, 0x57ea1ull, "w8"},
+      {8, 0xfeedull, "w8-steal"},
+  };
+  const size_t KillAfter = 3;
+
+  for (const Variant &V : Variants) {
+    SCOPED_TRACE(V.Name);
+    std::string Dir = freshStateDir(std::string("policy_restart_") + V.Name);
+    Client C("atax");
+    std::vector<std::string> Seen;
+    {
+      ServeEngine Engine(engineOptions(Dir, V.Threads, V.StealSeed));
+      std::string Err;
+      ASSERT_TRUE(Engine.openSession("s", Spec, Err)) << Err;
+      drain(Engine, "s", C, Seen, KillAfter);
+    }
+    {
+      ServeEngine Engine(engineOptions(Dir, V.Threads, V.StealSeed));
+      size_t Skipped = 99;
+      ASSERT_EQ(Engine.restoreSessions(&Skipped), 1u);
+      EXPECT_EQ(Skipped, 0u);
+      drain(Engine, "s", C, Seen);
+    }
+    EXPECT_EQ(Seen, Reference);
+    std::filesystem::remove_all(Dir);
+  }
+}
+
+TEST(ServeWireTest, PolicyFieldsOnTheWire) {
+  ::setenv("ALIC_SCALE", "smoke", 1);
+  ServeEngine Engine(engineOptions("", 0));
+
+  // An unknown policy token is refused and opens nothing.
+  EXPECT_FALSE(replyOk(roundTrip(
+      Engine,
+      "{\"op\":\"open\",\"session\":\"q\",\"spec\":{\"policy\":\"maybe\"}}")));
+  EXPECT_EQ(Engine.sessionCount(), 0u);
+
+  ASSERT_TRUE(replyOk(roundTrip(
+      Engine, "{\"op\":\"open\",\"session\":\"q\",\"spec\":{"
+              "\"benchmark\":\"atax\",\"plan\":\"seq:4\",\"seed\":9,"
+              "\"max_examples\":6,\"policy\":\"cost:0.1:0.03\"}}")));
+
+  // Suggest replies always carry the skipped array (empty pre-refine).
+  JsonValue Suggested =
+      roundTrip(Engine, "{\"op\":\"suggest\",\"session\":\"q\"}");
+  ASSERT_TRUE(replyOk(Suggested));
+  const JsonValue *Skipped = Suggested.field("skipped");
+  ASSERT_TRUE(Skipped && Skipped->K == JsonValue::Kind::Array);
+  EXPECT_TRUE(Skipped->Items.empty());
+
+  // Info splits the consumed refine picks into queries + skips.
+  JsonValue Info = roundTrip(Engine, "{\"op\":\"info\",\"session\":\"q\"}");
+  ASSERT_TRUE(replyOk(Info));
+  double Queries = -1, Skips = -1;
+  ASSERT_TRUE(jsonNumberField(Info, "queries", Queries));
+  ASSERT_TRUE(jsonNumberField(Info, "skips", Skips));
+  EXPECT_EQ(Queries, 0.0);
+  EXPECT_EQ(Skips, 0.0);
 }

@@ -39,11 +39,14 @@ import sys
 # addressed by identity instead of list position, so reordering or
 # growing the cross-product can never silently pair unrelated metrics —
 # a shape mismatch surfaces as "missing from fresh output".
-ID_KEYS = ("benchmark", "model", "scorer", "batch", "plan", "particles",
-           "state", "threads")
+ID_KEYS = ("benchmark", "model", "scorer", "batch", "plan", "policy",
+           "particles", "state", "threads")
 
-COST_TOKENS = ("cost", "seconds", "rmse", "time")
-THROUGHPUT_TOKENS = ("per_second", "speedup")
+# "labels" gates BENCH_query.json's labels_spent (a query policy that
+# starts buying more labels regressed); "saved" must precede it in the
+# throughput class so labels_saved_fraction gates in the right direction.
+COST_TOKENS = ("cost", "seconds", "rmse", "time", "labels")
+THROUGHPUT_TOKENS = ("per_second", "speedup", "saved")
 WALLCLOCK_TOKENS = (
     "real_time",
     "cpu_time",
