@@ -10,14 +10,34 @@
 // refit-per-observation cost, and sequential against thread-pool-sharded
 // ALC candidate scoring.
 //
+// Before the google-benchmark suite, a custom GP throughput section
+// sweeps the linalg/gp overhaul at n in {500, 2000, 8000}: blocked
+// factorize across worker counts (bit-identity asserted against the
+// serial factor), fit/update/predict/ALC throughput for the exact GP and
+// the subset-of-regressors approximation, and a deterministic quality
+// ablation (held-out RMSE, log marginal likelihood) of SoR against
+// exact.  Emits BENCH_gp.json; its wall-clock columns are classified out
+// of tools/check_bench.py's default gate (shared CI runners), while the
+// rmse columns are deterministic and gated.
+//
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "dynatree/DynaTree.h"
 #include "gp/GaussianProcess.h"
+#include "linalg/Cholesky.h"
+#include "linalg/Matrix.h"
 #include "support/Rng.h"
 #include "support/Scheduler.h"
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
 
 using namespace alic;
 
@@ -191,6 +211,344 @@ void BM_DynaTreeAlcScoring(benchmark::State &State) {
   State.SetLabel("leaf-cached Cohn ALC");
 }
 
+//===----------------------------------------------------------------------===//
+// GP throughput sweep (BENCH_gp.json)
+//===----------------------------------------------------------------------===//
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// Times Fn over \p Reps repetitions and returns seconds per repetition
+/// (first rep warm-started outside the clock at Reps > 1).
+template <typename Fn> double timeReps(unsigned Reps, Fn &&F) {
+  if (Reps > 1)
+    F(); // warm caches; excluded from the clock
+  auto Start = std::chrono::steady_clock::now();
+  for (unsigned I = 0; I != Reps; ++I)
+    F();
+  return secondsSince(Start) / Reps;
+}
+
+struct FactorizeRow {
+  size_t N = 0;
+  unsigned Workers = 0;
+  double FactorizeSeconds = 0.0;
+  double FactorizeSpeedup = 1.0; ///< serial seconds / this row's seconds
+};
+
+struct GpRow {
+  const char *Approx = "";
+  size_t N = 0;
+  unsigned Workers = 0;
+  double FitSeconds = 0.0;
+  double AlcCandidatesPerSecond = 0.0;
+  // Serial-path columns, measured on the Workers == 0 row only (the
+  // rank-1/extend update and predictBatch never fork).
+  bool HasSerialColumns = false;
+  double UpdateSeconds = 0.0;
+  double PredictsPerSecond = 0.0;
+};
+
+struct QualityRow {
+  size_t N = 0;
+  bool HasExact = false, HasSor = false;
+  double ExactRmse = 0.0, SorRmse = 0.0;
+  double ExactLogMl = 0.0, SorLogMl = 0.0;
+};
+
+GpConfig sweepGpConfig(GpApprox Approx) {
+  GpConfig C = plainGpConfig(GpUpdateMode::Incremental);
+  C.Approx = Approx;
+  return C;
+}
+
+/// Blocked-factorize sweep: one SPD matrix per n (low-rank + dominant
+/// diagonal, deterministic), factored serially and across worker counts.
+/// The parallel factors are asserted bit-identical to the serial one —
+/// the speedup column isolates pure scheduling gains.
+bool runFactorizeSweep(const std::vector<size_t> &Sizes,
+                       const std::vector<unsigned> &WorkerCounts,
+                       unsigned Reps, std::vector<FactorizeRow> &Rows) {
+  Table Out({"n", "workers", "seconds", "speedup"});
+  for (size_t N : Sizes) {
+    Rng R(hashCombine({0xfac7ull, N}));
+    std::vector<std::vector<double>> B;
+    for (size_t I = 0; I != N; ++I) {
+      std::vector<double> Row(8);
+      for (double &V : Row)
+        V = R.nextUniform(-1, 1);
+      B.push_back(std::move(Row));
+    }
+    Matrix A(N, N, 0.0);
+    for (size_t I = 0; I != N; ++I)
+      for (size_t J = 0; J <= I; ++J) {
+        double Sum = 0.0;
+        for (size_t K = 0; K != 8; ++K)
+          Sum += B[I][K] * B[J][K];
+        if (I == J)
+          Sum += 8.0 + 1e-3 * double(I);
+        A.at(I, J) = Sum;
+        A.at(J, I) = Sum;
+      }
+
+    double SerialSeconds = 0.0;
+    std::vector<double> SerialPacked;
+    for (unsigned Workers : WorkerCounts) {
+      std::unique_ptr<Scheduler> Pool;
+      if (Workers != 0)
+        Pool = std::make_unique<Scheduler>(Workers);
+      std::optional<Cholesky> F;
+      double Seconds =
+          timeReps(Reps, [&] { F = Cholesky::factorize(A, Pool.get()); });
+      if (!F) {
+        std::fprintf(stderr, "FATAL: factorize failed at n=%zu\n", N);
+        return false;
+      }
+      if (Workers == 0) {
+        SerialSeconds = Seconds;
+        SerialPacked = F->packed();
+      } else if (F->packed() != SerialPacked) {
+        std::fprintf(stderr,
+                     "FATAL: blocked factorize diverged from serial at "
+                     "n=%zu workers=%u\n",
+                     N, Workers);
+        return false;
+      }
+      FactorizeRow Row;
+      Row.N = N;
+      Row.Workers = Workers;
+      Row.FactorizeSeconds = Seconds;
+      Row.FactorizeSpeedup = SerialSeconds / Seconds;
+      Rows.push_back(Row);
+      Out.addRow({std::to_string(N), std::to_string(Workers),
+                  formatString("%.4f", Seconds),
+                  formatString("%.2fx", Row.FactorizeSpeedup)});
+    }
+  }
+  std::printf("\nBlocked Cholesky factorize (bit-identical across "
+              "workers):\n");
+  Out.print();
+  return true;
+}
+
+int runGpThroughputSection() {
+  printScaleBanner("bench_ablation_model_cost: GP throughput sweep "
+                   "(exact vs subset-of-regressors)");
+
+  // The sweep sizes are the tentpole's n targets; smoke keeps the O(n^3)
+  // exact path off the n=8000 point so CI stays inside its budget, while
+  // SoR reaches n=8000 in every scale — that contrast is the point.
+  std::vector<size_t> ExactSizes = {500, 2000};
+  std::vector<size_t> SorSizes = {500, 2000, 8000};
+  unsigned Reps = 1;
+  if (getScaleKind() != ScaleKind::Smoke)
+    ExactSizes.push_back(8000);
+  if (getScaleKind() == ScaleKind::Paper)
+    Reps = 3;
+  const std::vector<unsigned> WorkerCounts = {0, 2, 4};
+  constexpr size_t MaxN = 8000, NumUpdates = 16, NumProbes = 256,
+                   NumCands = 200, NumRef = 50, NumHeld = 500;
+
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  makeData(MaxN + NumUpdates + NumProbes + NumCands + NumRef + NumHeld, X, Y);
+  auto Tail = [&](size_t Skip, size_t Count) {
+    return FlatRows(X.begin() + long(MaxN + Skip),
+                    X.begin() + long(MaxN + Skip + Count));
+  };
+  FlatRows Probes = Tail(NumUpdates, NumProbes);
+  FlatRows Cands = Tail(NumUpdates + NumProbes, NumCands);
+  FlatRows Ref = Tail(NumUpdates + NumProbes + NumCands, NumRef);
+  FlatRows Held = Tail(NumUpdates + NumProbes + NumCands + NumRef, NumHeld);
+  std::vector<double> HeldY(Y.begin() +
+                                long(MaxN + NumUpdates + NumProbes +
+                                     NumCands + NumRef),
+                            Y.end());
+
+  std::vector<FactorizeRow> FactorizeRows;
+  if (!runFactorizeSweep(ExactSizes, WorkerCounts, Reps, FactorizeRows))
+    return EXIT_FAILURE;
+
+  struct ApproxCase {
+    const char *Name;
+    GpApprox Approx;
+    const std::vector<size_t> *Sizes;
+  };
+  ApproxCase Cases[] = {{"exact", GpApprox::Exact, &ExactSizes},
+                        {"sor", GpApprox::SoR, &SorSizes}};
+
+  std::vector<GpRow> GpRows;
+  std::vector<QualityRow> QualityRows;
+  Table GpOut({"approx", "n", "workers", "fit s", "alc cand/s", "upd s",
+               "pred/s"});
+  for (const ApproxCase &Case : Cases) {
+    for (size_t N : *Case.Sizes) {
+      FlatRows Train(X.begin(), X.begin() + long(N));
+      std::vector<double> TrainY(Y.begin(), Y.begin() + long(N));
+      std::vector<double> SerialAlc;
+      for (unsigned Workers : WorkerCounts) {
+        std::unique_ptr<Scheduler> Pool; // outlives the model wired to it
+        if (Workers != 0)
+          Pool = std::make_unique<Scheduler>(Workers);
+        GaussianProcess M(sweepGpConfig(Case.Approx));
+        if (Pool)
+          M.setScheduler(Pool.get());
+
+        GpRow Row;
+        Row.Approx = Case.Name;
+        Row.N = N;
+        Row.Workers = Workers;
+        Row.FitSeconds = timeReps(Reps, [&] { M.fit(Train, TrainY); });
+
+        ScoreContext Ctx;
+        Ctx.Pool = Pool.get();
+        std::vector<double> Alc = M.alcScores(Cands, Ref, Ctx);
+        if (Workers == 0)
+          SerialAlc = Alc;
+        else if (Alc != SerialAlc) {
+          std::fprintf(stderr,
+                       "FATAL: %s ALC diverged from the sequential path "
+                       "at n=%zu workers=%u\n",
+                       Case.Name, N, Workers);
+          return EXIT_FAILURE;
+        }
+        Row.AlcCandidatesPerSecond =
+            double(NumCands) /
+            timeReps(Reps, [&] { M.alcScores(Cands, Ref, Ctx); });
+
+        if (Workers == 0) {
+          Row.HasSerialColumns = true;
+          std::vector<Prediction> Preds(NumProbes);
+          Row.PredictsPerSecond =
+              double(NumProbes) /
+              timeReps(Reps, [&] {
+                M.predictBatch(Probes, NumProbes, Preds.data());
+              });
+
+          // Deterministic quality ablation on the pre-update fit.
+          std::vector<Prediction> HeldPreds(NumHeld);
+          M.predictBatch(Held, NumHeld, HeldPreds.data());
+          double Sum2 = 0.0;
+          for (size_t I = 0; I != NumHeld; ++I) {
+            double E = HeldPreds[I].Mean - HeldY[I];
+            Sum2 += E * E;
+          }
+          double Rmse = std::sqrt(Sum2 / double(NumHeld));
+          auto Quality =
+              std::find_if(QualityRows.begin(), QualityRows.end(),
+                           [&](const QualityRow &Q) { return Q.N == N; });
+          if (Quality == QualityRows.end()) {
+            QualityRows.push_back(QualityRow{});
+            Quality = QualityRows.end() - 1;
+            Quality->N = N;
+          }
+          if (Case.Approx == GpApprox::Exact) {
+            Quality->HasExact = true;
+            Quality->ExactRmse = Rmse;
+            Quality->ExactLogMl = M.logMarginalLikelihood();
+          } else {
+            Quality->HasSor = true;
+            Quality->SorRmse = Rmse;
+            Quality->SorLogMl = M.logMarginalLikelihood();
+          }
+
+          // Amortized per-observation absorption: n -> n + NumUpdates.
+          // Mutates the model, so it runs last.
+          auto Start = std::chrono::steady_clock::now();
+          for (size_t I = 0; I != NumUpdates; ++I)
+            M.update(X[MaxN + I], Y[MaxN + I]);
+          Row.UpdateSeconds = secondsSince(Start) / double(NumUpdates);
+        }
+        GpRows.push_back(Row);
+        GpOut.addRow({Row.Approx, std::to_string(N), std::to_string(Workers),
+                      formatString("%.4f", Row.FitSeconds),
+                      formatString("%.1f", Row.AlcCandidatesPerSecond),
+                      Row.HasSerialColumns
+                          ? formatString("%.5f", Row.UpdateSeconds)
+                          : std::string("-"),
+                      Row.HasSerialColumns
+                          ? formatString("%.1f", Row.PredictsPerSecond)
+                          : std::string("-")});
+      }
+    }
+  }
+  std::printf("\nGP throughput (%zu ALC candidates x %zu reference, "
+              "%zu-probe predict blocks):\n",
+              NumCands, NumRef, NumProbes);
+  GpOut.print();
+
+  Table QualOut({"n", "exact rmse", "sor rmse", "exact logml", "sor logml"});
+  for (const QualityRow &Q : QualityRows)
+    QualOut.addRow({std::to_string(Q.N),
+                    Q.HasExact ? formatString("%.4f", Q.ExactRmse)
+                               : std::string("-"),
+                    Q.HasSor ? formatString("%.4f", Q.SorRmse)
+                             : std::string("-"),
+                    Q.HasExact ? formatString("%.1f", Q.ExactLogMl)
+                               : std::string("-"),
+                    Q.HasSor ? formatString("%.1f", Q.SorLogMl)
+                             : std::string("-")});
+  std::printf("\nQuality ablation (held-out RMSE over %zu points, "
+              "deterministic):\n",
+              NumHeld);
+  QualOut.print();
+
+  std::FILE *Json = std::fopen("BENCH_gp.json", "w");
+  if (Json) {
+    std::fprintf(Json,
+                 "{\n  \"schema\": \"alic-gp-throughput-v1\",\n"
+                 "  \"alc_candidates\": %zu,\n  \"alc_reference\": %zu,\n"
+                 "  \"predict_probes\": %zu,\n  \"updates\": %zu,\n"
+                 "  \"heldout\": %zu,\n",
+                 NumCands, NumRef, NumProbes, NumUpdates, NumHeld);
+    std::fprintf(Json, "  \"factorize\": [\n");
+    for (size_t I = 0; I != FactorizeRows.size(); ++I) {
+      const FactorizeRow &F = FactorizeRows[I];
+      std::fprintf(Json,
+                   "    {\"n\": %zu, \"workers\": %u, "
+                   "\"factorize_seconds\": %.6f, "
+                   "\"factorize_speedup\": %.3f}%s\n",
+                   F.N, F.Workers, F.FactorizeSeconds, F.FactorizeSpeedup,
+                   I + 1 == FactorizeRows.size() ? "" : ",");
+    }
+    std::fprintf(Json, "  ],\n  \"gp\": [\n");
+    for (size_t I = 0; I != GpRows.size(); ++I) {
+      const GpRow &R = GpRows[I];
+      std::fprintf(Json,
+                   "    {\"approx\": \"%s\", \"n\": %zu, \"workers\": %u, "
+                   "\"fit_seconds\": %.6f, "
+                   "\"alc_candidates_per_second\": %.1f",
+                   R.Approx, R.N, R.Workers, R.FitSeconds,
+                   R.AlcCandidatesPerSecond);
+      if (R.HasSerialColumns)
+        std::fprintf(Json,
+                     ", \"update_seconds\": %.6f, "
+                     "\"predicts_per_second\": %.1f",
+                     R.UpdateSeconds, R.PredictsPerSecond);
+      std::fprintf(Json, "}%s\n", I + 1 == GpRows.size() ? "" : ",");
+    }
+    std::fprintf(Json, "  ],\n  \"quality\": [\n");
+    for (size_t I = 0; I != QualityRows.size(); ++I) {
+      const QualityRow &Q = QualityRows[I];
+      std::fprintf(Json, "    {\"n\": %zu", Q.N);
+      if (Q.HasExact)
+        std::fprintf(Json, ", \"exact_rmse\": %.6f, \"exact_logml\": %.4f",
+                     Q.ExactRmse, Q.ExactLogMl);
+      if (Q.HasSor)
+        std::fprintf(Json, ", \"sor_rmse\": %.6f, \"sor_logml\": %.4f",
+                     Q.SorRmse, Q.SorLogMl);
+      std::fprintf(Json, "}%s\n", I + 1 == QualityRows.size() ? "" : ",");
+    }
+    std::fprintf(Json, "  ]\n}\n");
+    std::fclose(Json);
+    std::printf("written: BENCH_gp.json\n");
+  }
+  return EXIT_SUCCESS;
+}
+
 } // namespace
 
 BENCHMARK(BM_DynaTreeUpdate)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
@@ -209,4 +567,15 @@ BENCHMARK(BM_GpAlcScoring)
 BENCHMARK(BM_DynaTreePredict)->Arg(100)->Arg(400);
 BENCHMARK(BM_DynaTreeAlcScoring)->Arg(50)->Arg(200);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the GP throughput sweep runs
+// first (emitting BENCH_gp.json), then the google-benchmark suite with
+// whatever --benchmark_* flags CI passed.
+int main(int argc, char **argv) {
+  if (runGpThroughputSection() != EXIT_SUCCESS)
+    return EXIT_FAILURE;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return EXIT_FAILURE;
+  benchmark::RunSpecifiedBenchmarks();
+  return EXIT_SUCCESS;
+}

@@ -65,7 +65,7 @@ std::vector<std::string> splitList(const std::string &Csv) {
       "Sharded, checkpointable experiment campaign over the SPAPT suite.\n"
       "Scale comes from ALIC_SCALE (smoke|bench|paper; default bench).\n\n"
       "  --benchmarks=a,b,...  subset of benchmarks (default: all eleven)\n"
-      "  --models=LIST         dynatree,gp (default: dynatree)\n"
+      "  --models=LIST         dynatree,gp,gp_sor (default: dynatree)\n"
       "  --scorers=LIST        alc,alm,random (default: alc)\n"
       "  --batches=LIST        step batch sizes (default: 1)\n"
       "  --policies=LIST       query policies: always, alm[:abs[:rel]],\n"
@@ -140,6 +140,8 @@ int main(int argc, char **argv) {
           Spec.Models.push_back(ModelKind::DynaTree);
         else if (Name == "gp")
           Spec.Models.push_back(ModelKind::Gp);
+        else if (Name == "gp_sor")
+          Spec.Models.push_back(ModelKind::GpSor);
         else
           usage(argv[0], ("unknown model: " + Name).c_str());
       }

@@ -38,6 +38,8 @@ const char *alic::modelToken(ModelKind Kind) {
     return "dynatree";
   case ModelKind::Gp:
     return "gp";
+  case ModelKind::GpSor:
+    return "gp_sor";
   }
   alic_unreachable("unknown model kind");
 }

@@ -9,6 +9,35 @@
 /// Cholesky factorization and solves for symmetric positive-definite
 /// systems — the O(n^3) kernel inside exact GP inference.
 ///
+/// The factor is held in *packed* lower-triangular storage: row I of L
+/// occupies the I+1 contiguous entries starting at I*(I+1)/2, so the
+/// whole factor is one n(n+1)/2-double buffer with unit-stride rows and
+/// no dead upper triangle.  Two properties of that layout carry the GP
+/// hot paths:
+///
+///  * every forward-substitution and factorization inner loop is a dot
+///    product of two packed rows — contiguous, cache-linear reads (the
+///    same discipline FlatRows::gatherColumn brought to the dynamic
+///    tree's leaf scans);
+///
+///  * extend() grows the factor by appending one packed row *in place*
+///    (amortized O(n) writes via the buffer's geometric growth), where
+///    the previous Matrix-backed representation allocated and copied an
+///    entire (n+1)^2 matrix per observation — an O(n^2)-copy-per-update
+///    bug that made n incremental GP updates cost O(n^3) in copies
+///    alone.
+///
+/// factorize() is panel-blocked and may fork the independent trailing
+/// rows of each panel onto a support/Scheduler.  Every element L(I,J) is
+/// still produced by the classic scalar recurrence — one k-ordered dot
+/// product over the final values of rows I and J — so the blocked,
+/// parallel factor is bit-identical to the sequential scalar loop at any
+/// worker count and steal order (determinism by construction: work is
+/// split *across* independent elements, no dot product's addends are
+/// ever reordered).  extend() reproduces the same recurrence for its one
+/// new row, which keeps the grown factor bit-identical to refactorizing
+/// from scratch.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALIC_LINALG_CHOLESKY_H
@@ -21,22 +50,43 @@
 
 namespace alic {
 
-/// Lower-triangular Cholesky factor L with A = L L^T.
+class Scheduler;
+
+/// Lower-triangular Cholesky factor L with A = L L^T, in packed
+/// row-major triangular storage.
 class Cholesky {
 public:
-  /// Factorizes symmetric positive-definite \p A.  Returns std::nullopt if
-  /// \p A is not (numerically) positive definite.
-  static std::optional<Cholesky> factorize(const Matrix &A);
+  /// Factorizes symmetric positive-definite \p A.  Returns std::nullopt
+  /// if \p A is not (numerically) positive definite.  When \p Workers is
+  /// non-null the panel-blocked trailing updates fork onto it; the
+  /// result is bit-identical to the sequential run at any worker count
+  /// (see the file comment for the argument).
+  static std::optional<Cholesky> factorize(const Matrix &A,
+                                           Scheduler *Workers = nullptr);
 
   /// Grows the factor of an n x n matrix A to the factor of the bordered
-  /// (n+1) x (n+1) matrix [[A, B], [B^T, C]] in O(n^2) — the rank-1
-  /// extension that lets a GP absorb one observation without the O(n^3)
-  /// refactorization.  The new row is produced by the same recurrence, in
-  /// the same order, as factorize() would use, so the grown factor is
-  /// bit-identical to factorizing the bordered matrix from scratch.
-  /// Returns false (leaving the factor unchanged) if the bordered matrix
-  /// is not numerically positive definite.
-  bool extend(const std::vector<double> &B, double C);
+  /// (n+1) x (n+1) matrix [[A, B], [B^T, C]] in O(n^2) flops and
+  /// amortized O(n) copies — the rank-1 extension that lets a GP absorb
+  /// one observation without the O(n^3) refactorization.  The new row is
+  /// produced by the same recurrence, in the same order, as factorize()
+  /// would use, so the grown factor is bit-identical to factorizing the
+  /// bordered matrix from scratch.  Returns false (leaving the factor
+  /// unchanged) if the bordered matrix is not numerically positive
+  /// definite.
+  bool extend(RowRef B, double C);
+
+  /// Pre-allocates packed storage for growth to \p Rows rows, so a
+  /// run of extend() calls performs no reallocation at all.
+  void reserve(size_t Rows) { Packed.reserve(Rows * (Rows + 1) / 2); }
+
+  /// Applies the symmetric rank-1 update A -> A + V V^T to the factor in
+  /// O(n^2) via the classic sequence of Givens-style eliminations.  The
+  /// dimension is unchanged (contrast extend(), which borders the
+  /// matrix).  Unlike extend() this is *not* bitwise-equal to a
+  /// refactorization — it is the numerically stable update the
+  /// subset-of-regressors GP uses to absorb an observation into its
+  /// m x m projected system.
+  void rankOneUpdate(RowRef V);
 
   /// Solves A x = \p B via the factor.
   std::vector<double> solve(const std::vector<double> &B) const;
@@ -44,19 +94,58 @@ public:
   /// Solves L y = \p B (forward substitution).
   std::vector<double> solveLower(const std::vector<double> &B) const;
 
+  /// In-place forward substitution: overwrites \p B (size() entries)
+  /// with the solution of L y = B.  Identical arithmetic to
+  /// solveLower(), without the allocation.
+  void solveLowerInPlace(double *B) const;
+
+  /// In-place full solve: overwrites \p B (size() entries) with the
+  /// solution of A x = B.  Identical arithmetic to solve(), without the
+  /// allocation.
+  void solveInPlace(double *B) const;
+
+  /// Blocked multi-RHS forward substitution: \p B holds \p NumRhs
+  /// row-major right-hand sides of size() entries each, each overwritten
+  /// with its solution of L y = b.  Each right-hand side receives
+  /// exactly the arithmetic of solveLowerInPlace() — the factor row is
+  /// simply reused across all of them from cache — so the results are
+  /// bit-identical to NumRhs independent solves.
+  void solveLowerManyInPlace(double *B, size_t NumRhs) const;
+
+  /// Blocked multi-RHS full solve (forward then transposed-backward
+  /// substitution) over \p NumRhs row-major right-hand sides; the
+  /// back-substitution gathers each column of L once into scratch and
+  /// streams it unit-stride through every right-hand side.
+  /// Bit-identical to NumRhs independent solveInPlace() calls.
+  void solveManyInPlace(double *B, size_t NumRhs) const;
+
   /// log(det A) = 2 * sum(log diag L).
   double logDeterminant() const;
 
   /// Dimension of the factored matrix.
-  size_t size() const { return L.rows(); }
+  size_t size() const { return N; }
 
-  /// The lower-triangular factor.
-  const Matrix &factor() const { return L; }
+  /// Entry L(I, J) of the factor, J <= I.
+  double at(size_t I, size_t J) const { return Packed[I * (I + 1) / 2 + J]; }
+
+  /// The lower-triangular factor, unpacked into a dense matrix (zeros
+  /// above the diagonal).  Test/diagnostic helper — hot paths read the
+  /// packed rows directly.
+  Matrix factor() const;
+
+  /// The packed row-major triangular buffer (size()*(size()+1)/2
+  /// entries; row I starts at I*(I+1)/2).
+  const std::vector<double> &packed() const { return Packed; }
 
 private:
-  explicit Cholesky(Matrix L) : L(std::move(L)) {}
+  Cholesky() = default;
 
-  Matrix L;
+  /// Pointer to packed row \p I (I+1 entries).
+  const double *row(size_t I) const { return Packed.data() + I * (I + 1) / 2; }
+  double *row(size_t I) { return Packed.data() + I * (I + 1) / 2; }
+
+  size_t N = 0;
+  std::vector<double> Packed;
 };
 
 } // namespace alic

@@ -35,10 +35,14 @@ public:
   /// Returns the \p N x \p N identity.
   static Matrix identity(size_t N);
 
+  /// Number of rows.
   size_t rows() const { return NumRows; }
+  /// Number of columns.
   size_t cols() const { return NumCols; }
 
+  /// Mutable reference to entry (\p Row, \p Col) of the row-major buffer.
   double &at(size_t Row, size_t Col) { return Data[Row * NumCols + Col]; }
+  /// Entry (\p Row, \p Col) of the row-major buffer.
   double at(size_t Row, size_t Col) const { return Data[Row * NumCols + Col]; }
 
   /// Matrix-matrix product; dimensions must agree.

@@ -13,6 +13,12 @@ uint64_t ScoreContext::shardSeed(size_t Shard) const {
 
 SurrogateModel::~SurrogateModel() = default;
 
+void SurrogateModel::predictBatch(const FlatRows &X, size_t Count,
+                                  Prediction *Out) const {
+  for (size_t I = 0; I != Count; ++I)
+    Out[I] = predict(X[I]);
+}
+
 std::vector<double> SurrogateModel::almScores(const FlatRows &Candidates,
                                               const ScoreContext &Ctx) const {
   std::vector<double> Scores(Candidates.size());

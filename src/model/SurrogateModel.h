@@ -113,6 +113,14 @@ public:
   /// Predictive mean and variance at \p X.
   virtual Prediction predict(RowRef X) const = 0;
 
+  /// Batched predictions: fills Out[0..Count) with the predictions of
+  /// the first \p Count rows of \p X (\p Count <= X.size()).  Must be
+  /// bit-identical to \p Count predict() calls; models may batch the
+  /// internal work (the GP streams its triangular-solve factor rows
+  /// through the whole block).  The default loops over predict().
+  virtual void predictBatch(const FlatRows &X, size_t Count,
+                            Prediction *Out) const;
+
   /// ALM scores: predictive variance per candidate (higher = more useful).
   /// The default implementation shards predict() over \p Ctx.
   virtual std::vector<double>

@@ -85,7 +85,7 @@ bool readSpec(ByteReader &R, SessionSpec &Spec) {
   R.readU32(S.EvalEvery);
   R.readU64(TestSubset);
   R.readU32(S.ObservationCap);
-  if (!R.ok() || Model > 1 || Scorer > 2 || PolicyKind > 2 || PlanKind > 1)
+  if (!R.ok() || Model > 2 || Scorer > 2 || PolicyKind > 2 || PlanKind > 1)
     return false;
   Spec.Model = ModelKind(Model);
   Spec.Scorer = ScorerKind(Scorer);

@@ -75,10 +75,12 @@ bool parseSpec(const JsonValue &Root, SessionSpec &Spec, std::string &Err) {
     return false;
   if (Model == "gp")
     Spec.Model = ModelKind::Gp;
+  else if (Model == "gp_sor")
+    Spec.Model = ModelKind::GpSor;
   else if (Model == "dynatree" || Model.empty())
     Spec.Model = ModelKind::DynaTree;
   else {
-    Err = "unknown model '" + Model + "' (want dynatree|gp)";
+    Err = "unknown model '" + Model + "' (want dynatree|gp|gp_sor)";
     return false;
   }
 

@@ -3,6 +3,7 @@
 #include "linalg/Cholesky.h"
 #include "linalg/Matrix.h"
 #include "support/Rng.h"
+#include "support/Scheduler.h"
 
 #include <gtest/gtest.h>
 
@@ -21,6 +22,22 @@ Matrix randomSpd(size_t N, Rng &R) {
   Matrix A = B.multiply(B.transpose());
   A.addToDiagonal(double(N) * 0.1);
   return A;
+}
+
+/// Textbook scalar left-looking Cholesky: the recurrence the blocked,
+/// parallel factorize() must reproduce element for element.
+Matrix scalarCholeskyReference(const Matrix &A) {
+  size_t N = A.rows();
+  Matrix L(N, N, 0.0);
+  for (size_t I = 0; I != N; ++I) {
+    for (size_t J = 0; J <= I; ++J) {
+      double Acc = A.at(I, J);
+      for (size_t K = 0; K != J; ++K)
+        Acc -= L.at(I, K) * L.at(J, K);
+      L.at(I, J) = I == J ? std::sqrt(Acc) : Acc / L.at(J, J);
+    }
+  }
+  return L;
 }
 
 } // namespace
@@ -174,6 +191,87 @@ TEST(CholeskyTest, ExtendRejectsNonPdBorderAndKeepsFactor) {
   // The untouched factor still solves the original system.
   std::vector<double> X = F->solve({3.0});
   EXPECT_NEAR(X[0], 3.0, 1e-14);
+}
+
+TEST(CholeskyTest, FactorizeBitIdenticalToScalarReference) {
+  // N = 200 spans several diagonal panels, so the blocked schedule (not
+  // just the first panel) is exercised against the classic scalar loop.
+  Rng R(41);
+  const size_t N = 200;
+  Matrix A = randomSpd(N, R);
+  auto F = Cholesky::factorize(A);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_EQ(F->factor().maxAbsDiff(scalarCholeskyReference(A)), 0.0);
+}
+
+TEST(CholeskyTest, BlockedFactorizeBitIdenticalAcrossWorkersAndStealSeeds) {
+  Rng R(42);
+  const size_t N = 200;
+  Matrix A = randomSpd(N, R);
+  auto Sequential = Cholesky::factorize(A, nullptr);
+  ASSERT_TRUE(Sequential.has_value());
+  for (unsigned Threads : {1u, 8u}) {
+    for (uint64_t StealSeed : {0x5eedull, 0xabcdefull}) {
+      Scheduler::Options Opts;
+      Opts.Threads = Threads;
+      Opts.StealSeed = StealSeed;
+      Opts.JitterSeed = hashCombine({StealSeed, 0x11ffull});
+      Scheduler Pool(Opts);
+      auto Forked = Cholesky::factorize(A, &Pool);
+      ASSERT_TRUE(Forked.has_value());
+      // The packed buffers must agree bit for bit, not within tolerance.
+      EXPECT_EQ(Forked->packed(), Sequential->packed())
+          << Threads << " workers, steal seed " << StealSeed;
+    }
+  }
+}
+
+TEST(CholeskyTest, SolveManyBitIdenticalToIndependentSolves) {
+  Rng R(43);
+  const size_t N = 57; // not a multiple of any internal block size
+  const size_t NumRhs = 9;
+  Matrix A = randomSpd(N, R);
+  auto F = Cholesky::factorize(A);
+  ASSERT_TRUE(F.has_value());
+  std::vector<double> Rhs(NumRhs * N);
+  for (double &V : Rhs)
+    V = R.nextGaussian();
+
+  std::vector<double> Lower = Rhs, Full = Rhs;
+  F->solveLowerManyInPlace(Lower.data(), NumRhs);
+  F->solveManyInPlace(Full.data(), NumRhs);
+  for (size_t I = 0; I != NumRhs; ++I) {
+    std::vector<double> B(Rhs.begin() + I * N, Rhs.begin() + (I + 1) * N);
+    std::vector<double> Y = F->solveLower(B);
+    std::vector<double> X = F->solve(B);
+    for (size_t J = 0; J != N; ++J) {
+      EXPECT_EQ(Lower[I * N + J], Y[J]) << "rhs " << I << " entry " << J;
+      EXPECT_EQ(Full[I * N + J], X[J]) << "rhs " << I << " entry " << J;
+    }
+  }
+}
+
+TEST(CholeskyTest, RankOneUpdateMatchesRefactorization) {
+  Rng R(44);
+  const size_t N = 30;
+  Matrix A = randomSpd(N, R);
+  std::vector<double> V(N);
+  for (double &Vi : V)
+    Vi = R.nextGaussian();
+
+  auto Updated = Cholesky::factorize(A);
+  ASSERT_TRUE(Updated.has_value());
+  Updated->rankOneUpdate(V);
+
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = 0; J != N; ++J)
+      A.at(I, J) += V[I] * V[J];
+  auto Direct = Cholesky::factorize(A);
+  ASSERT_TRUE(Direct.has_value());
+  // Unlike extend(), the rank-1 update takes a different arithmetic
+  // route than refactorization — equal only within rounding.
+  EXPECT_LT(Updated->factor().maxAbsDiff(Direct->factor()), 1e-9);
+  EXPECT_NEAR(Updated->logDeterminant(), Direct->logDeterminant(), 1e-9);
 }
 
 TEST(CholeskyTest, SolveLowerForwardSubstitution) {

@@ -40,7 +40,7 @@ import sys
 # growing the cross-product can never silently pair unrelated metrics —
 # a shape mismatch surfaces as "missing from fresh output".
 ID_KEYS = ("benchmark", "model", "scorer", "batch", "plan", "policy",
-           "particles", "state", "threads")
+           "particles", "state", "threads", "approx", "n", "workers")
 
 # "labels" gates BENCH_query.json's labels_spent (a query policy that
 # starts buying more labels regressed); "saved" must precede it in the
@@ -69,6 +69,18 @@ WALLCLOCK_TOKENS = (
     # and machine-dependent; BENCH_serve.json stays presence-gated and
     # its round_trips/restored counts are deterministic.
     "suggestions_per_second",
+    # bench_ablation_model_cost's GP throughput sweep: pure wall clocks
+    # and their ratios (the committed baseline is a 1-core box, so even
+    # factorize_speedup is hardware-dependent).  BENCH_gp.json stays
+    # presence-gated and its quality columns (exact_rmse/sor_rmse) are
+    # deterministic and remain in the gate.
+    "fit_seconds",
+    "update_seconds",
+    "predict_seconds",
+    "predicts_per_second",
+    "factorize_seconds",
+    "factorize_speedup",
+    "candidates_per_second",
 )
 SKIP_PATH_TOKENS = ("curve",)
 
