@@ -20,15 +20,21 @@
 
 #include "exp/Campaign.h"
 #include "spapt/Suite.h"
+#include "support/Backoff.h"
 #include "support/Env.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 using namespace alic;
 
@@ -82,8 +88,25 @@ std::vector<std::string> splitList(const std::string &Csv) {
       "  --max-cells=K         stop after K new cells, exit %d (resume by\n"
       "                        re-running; 0 = run to completion)\n"
       "  --shuffle=SEED        execute missing cells in shuffled order\n"
-      "  --no-noise            skip the per-benchmark noise-summary cells\n",
-      Binary, ExitIncomplete);
+      "  --no-noise            skip the per-benchmark noise-summary cells\n"
+      "\nScale-out (N independent processes, one spec — see ARCHITECTURE.md):\n"
+      "  --shard=I/N           run only static shard I of N (0-based); this\n"
+      "                        worker appends to cells.shard<I>of<N>.jsonl\n"
+      "  --lease-claim         claim cell ranges dynamically through lease\n"
+      "                        files in <state-dir>/leases, stealing ranges\n"
+      "                        from dead workers; returns when the whole\n"
+      "                        spec is in the union of worker ledgers\n"
+      "  --lease-ttl-ms=MS     steal leases idle longer than MS (2000)\n"
+      "  --lease-heartbeat-ms=MS  renewal cadence (default: ttl/4)\n"
+      "  --lease-range-cells=K cells per claimable range (16)\n"
+      "  --worker-id=ID        per-worker ledger tag (cells.<ID>.jsonl)\n"
+      "  --merge-ledgers       union every cells*.jsonl shard ledger into\n"
+      "                        the canonical cells.jsonl and exit; byte-\n"
+      "                        conflicting duplicates quarantine (exit %d)\n"
+      "  --spawn-workers=K     supervise K --lease-claim child processes,\n"
+      "                        restarting crashed ones with jittered backoff\n"
+      "  --max-restarts=N      total child restart budget (default 8)\n",
+      Binary, ExitIncomplete, ExitQuarantined);
   std::exit(2);
 }
 
@@ -107,6 +130,166 @@ uint64_t parseCount(const char *Binary, const std::string &Text,
   return Value;
 }
 
+/// --spawn-workers: fork+exec K copies of this invocation as --lease-claim
+/// workers, restart the ones that crash (killed by a signal, or the
+/// failpoint crash simulator's exit 43) with jittered exponential backoff,
+/// and fold the children's exit codes into one verdict.  Lease workers
+/// exit 0 only once the *whole spec* is in the union of worker ledgers, so
+/// success is "any child exited 0 and none quarantined" — a crashed child
+/// whose restart budget ran out is fine as long as a survivor finished.
+int runSupervisor(int argc, char **argv, unsigned NumWorkers,
+                  uint64_t MaxRestarts, const CampaignOptions &Options) {
+  // Re-exec ourselves: /proc/self/exe survives $PATH lookups and chdir;
+  // argv[0] is the fallback for exotic mounts.
+  char ExeBuf[4096];
+  ssize_t Len = ::readlink("/proc/self/exe", ExeBuf, sizeof(ExeBuf) - 1);
+  std::string Exe = Len > 0 ? std::string(ExeBuf, size_t(Len)) : argv[0];
+
+  // Child argv: this command minus the supervisor-only flags, plus
+  // --lease-claim and a per-worker identity.
+  std::vector<std::string> Base;
+  Base.push_back(Exe);
+  bool HasLeaseClaim = false;
+  for (int I = 1; I != argc; ++I) {
+    if (std::strncmp(argv[I], "--spawn-workers=", 16) == 0 ||
+        std::strncmp(argv[I], "--max-restarts=", 15) == 0 ||
+        std::strncmp(argv[I], "--worker-id=", 12) == 0)
+      continue;
+    if (std::strcmp(argv[I], "--lease-claim") == 0)
+      HasLeaseClaim = true;
+    Base.push_back(argv[I]);
+  }
+  if (!HasLeaseClaim)
+    Base.push_back("--lease-claim");
+
+  struct Worker {
+    pid_t Pid = -1;
+    unsigned Restarts = 0;
+  };
+  std::vector<Worker> Workers(NumWorkers);
+
+  auto spawn = [&](unsigned Index, bool IsRestart) {
+    std::vector<std::string> Args = Base;
+    Args.push_back("--worker-id=w" + std::to_string(Index));
+    std::vector<char *> Argv;
+    for (std::string &Arg : Args)
+      Argv.push_back(Arg.data());
+    Argv.push_back(nullptr);
+    pid_t Pid = ::fork();
+    if (Pid < 0) {
+      std::fprintf(stderr, "supervisor: fork: %s\n", std::strerror(errno));
+      return false;
+    }
+    if (Pid == 0) {
+      // A restarted worker must not re-arm the fault that killed its
+      // predecessor — an inherited crash failpoint would loop the
+      // restart budget away without making progress.
+      if (IsRestart)
+        ::unsetenv("ALIC_FAILPOINTS");
+      ::execv(Exe.c_str(), Argv.data());
+      std::fprintf(stderr, "supervisor: exec %s: %s\n", Exe.c_str(),
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    Workers[Index].Pid = Pid;
+    return true;
+  };
+
+  std::printf("# alic_campaign supervisor: %u lease worker(s), state-dir=%s, "
+              "restart budget %llu\n",
+              NumWorkers, Options.StateDir.c_str(),
+              (unsigned long long)MaxRestarts);
+  unsigned Running = 0;
+  bool AnyFailed = false;
+  for (unsigned I = 0; I != NumWorkers; ++I) {
+    if (spawn(I, false))
+      ++Running;
+    else
+      AnyFailed = true;
+  }
+
+  uint64_t RestartsUsed = 0;
+  bool AnyQuarantined = false, AnyIncomplete = false, AnyDone = false;
+  while (Running) {
+    int WStatus = 0;
+    pid_t Pid = ::waitpid(-1, &WStatus, 0);
+    if (Pid < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    size_t Index = Workers.size();
+    for (size_t I = 0; I != Workers.size(); ++I)
+      if (Workers[I].Pid == Pid)
+        Index = I;
+    if (Index == Workers.size())
+      continue; // not ours (some library's helper child)
+    Worker &W = Workers[Index];
+    W.Pid = -1;
+
+    // Crash = killed by a signal, or the failpoint crash simulator
+    // (support/FailPoint exits 43).  Deliberate stops — quarantine (74),
+    // --max-cells interruption (75), clean exits — are never restarted.
+    bool Crashed = WIFSIGNALED(WStatus) ||
+                   (WIFEXITED(WStatus) && WEXITSTATUS(WStatus) == 43);
+    if (Crashed && RestartsUsed < MaxRestarts) {
+      ++RestartsUsed;
+      ++W.Restarts;
+      uint64_t Delay =
+          Backoff(0xa11c0000u + Index, 50, 2000).delayMs(W.Restarts - 1);
+      std::fprintf(stderr,
+                   "supervisor: worker w%zu %s; restart %llu/%llu in "
+                   "%llu ms\n",
+                   Index,
+                   WIFSIGNALED(WStatus)
+                       ? ("killed by signal " +
+                          std::to_string(WTERMSIG(WStatus)))
+                             .c_str()
+                       : "crashed (exit 43)",
+                   (unsigned long long)RestartsUsed,
+                   (unsigned long long)MaxRestarts,
+                   (unsigned long long)Delay);
+      std::this_thread::sleep_for(std::chrono::milliseconds(Delay));
+      if (spawn(Index, true))
+        continue;
+      AnyFailed = true;
+    }
+
+    --Running;
+    if (WIFSIGNALED(WStatus)) {
+      std::fprintf(stderr,
+                   "supervisor: worker w%zu killed by signal %d, restart "
+                   "budget exhausted\n",
+                   Index, WTERMSIG(WStatus));
+      AnyFailed = true;
+      continue;
+    }
+    int Code = WEXITSTATUS(WStatus);
+    if (Code == 0)
+      AnyDone = true;
+    else if (Code == ExitQuarantined)
+      AnyQuarantined = true;
+    else if (Code == ExitIncomplete)
+      AnyIncomplete = true;
+    else
+      AnyFailed = true;
+    std::printf("supervisor: worker w%zu exited %d\n", Index, Code);
+  }
+
+  if (AnyQuarantined) {
+    std::fprintf(stderr, "supervisor: worker(s) quarantined cells; re-run "
+                         "to retry them\n");
+    return ExitQuarantined;
+  }
+  if (AnyDone) {
+    std::printf("supervisor: spec complete; merge the shard ledgers with "
+                "--merge-ledgers --state-dir=%s\n",
+                Options.StateDir.c_str());
+    return 0;
+  }
+  return AnyIncomplete && !AnyFailed ? ExitIncomplete : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -118,6 +301,9 @@ int main(int argc, char **argv) {
   CampaignOptions Options;
   Options.StateDir = defaultCampaignStateDir(Spec.ScaleName);
   std::string OutPath = "BENCH_campaign.json";
+  bool MergeMode = false;
+  unsigned SpawnWorkers = 0;
+  uint64_t MaxRestarts = 8;
 
   for (int I = 1; I != argc; ++I) {
     std::string Value;
@@ -204,6 +390,44 @@ int main(int argc, char **argv) {
       Options.ShuffleSeed = parseCount(argv[0], Value, "bad --shuffle value");
     } else if (std::strcmp(argv[I], "--no-noise") == 0) {
       Spec.NoiseCells = false;
+    } else if (parseFlag(argv[I], "--shard", Value)) {
+      size_t Slash = Value.find('/');
+      if (Slash == std::string::npos)
+        usage(argv[0], "--shard wants I/N (e.g. --shard=0/3)");
+      uint64_t Index =
+          parseCount(argv[0], Value.substr(0, Slash), "bad --shard index");
+      uint64_t Count =
+          parseCount(argv[0], Value.substr(Slash + 1), "bad --shard count");
+      if (!Count || Index >= Count)
+        usage(argv[0], "--shard index must be 0-based and below the count");
+      Options.ShardIndex = unsigned(Index);
+      Options.ShardCount = unsigned(Count);
+    } else if (std::strcmp(argv[I], "--lease-claim") == 0) {
+      Options.LeaseClaim = true;
+    } else if (parseFlag(argv[I], "--lease-ttl-ms", Value)) {
+      Options.LeaseTtlMs = parseCount(argv[0], Value, "bad --lease-ttl-ms");
+      if (!Options.LeaseTtlMs)
+        usage(argv[0], "--lease-ttl-ms must be positive");
+    } else if (parseFlag(argv[I], "--lease-heartbeat-ms", Value)) {
+      Options.LeaseHeartbeatMs =
+          parseCount(argv[0], Value, "bad --lease-heartbeat-ms");
+    } else if (parseFlag(argv[I], "--lease-range-cells", Value)) {
+      Options.LeaseRangeCells =
+          unsigned(parseCount(argv[0], Value, "bad --lease-range-cells"));
+    } else if (parseFlag(argv[I], "--worker-id", Value)) {
+      if (Value.empty() ||
+          Value.find_first_of("/\n") != std::string::npos)
+        usage(argv[0], "--worker-id must be a non-empty filename fragment");
+      Options.WorkerId = Value;
+    } else if (std::strcmp(argv[I], "--merge-ledgers") == 0) {
+      MergeMode = true;
+    } else if (parseFlag(argv[I], "--spawn-workers", Value)) {
+      SpawnWorkers =
+          unsigned(parseCount(argv[0], Value, "bad --spawn-workers value"));
+      if (!SpawnWorkers)
+        usage(argv[0], "--spawn-workers must be positive");
+    } else if (parseFlag(argv[I], "--max-restarts", Value)) {
+      MaxRestarts = parseCount(argv[0], Value, "bad --max-restarts value");
     } else if (std::strcmp(argv[I], "--help") == 0 ||
                std::strcmp(argv[I], "-h") == 0) {
       usage(argv[0], nullptr);
@@ -212,16 +436,71 @@ int main(int argc, char **argv) {
     }
   }
 
+  if (Options.ShardCount && Options.LeaseClaim)
+    usage(argv[0], "--shard and --lease-claim are alternative sharding "
+                   "modes; pick one");
+  if (SpawnWorkers && (Options.ShardCount || MergeMode))
+    usage(argv[0], "--spawn-workers supervises --lease-claim workers; it "
+                   "cannot combine with --shard or --merge-ledgers");
+
+  if (MergeMode) {
+    LedgerMergeReport Report;
+    Status S = mergeLedgers(Spec, Options, Report);
+    if (!S.ok()) {
+      std::fprintf(stderr, "merge: %s (errno %d)\n", S.message().c_str(),
+                   S.errnoValue());
+      return ExitQuarantined;
+    }
+    if (!Report.ConflictKeys.empty()) {
+      std::fprintf(stderr,
+                   "merge: %zu cell key(s) carry *different* bytes in "
+                   "different shard ledgers:\n",
+                   Report.ConflictKeys.size());
+      for (const std::string &Key : Report.ConflictKeys)
+        std::fprintf(stderr, "  conflict: %s\n", Key.c_str());
+      std::fprintf(stderr,
+                   "cells are deterministic, so conflicting duplicates are "
+                   "corruption; %s left untouched\n",
+                   Options.canonicalLedgerPath().c_str());
+      return ExitQuarantined;
+    }
+    std::printf("merged: %zu ledger(s), %zu line(s) -> %zu cell(s) into %s "
+                "(%zu duplicate(s), %zu foreign, %zu torn tail(s) sealed, "
+                "%zu garbage line(s) skipped)\n",
+                Report.InputFiles, Report.Lines, Report.UniqueCells,
+                Options.canonicalLedgerPath().c_str(), Report.DuplicateCells,
+                Report.ForeignCells, Report.TornTails, Report.SkippedGarbage);
+    return 0;
+  }
+
+  if (SpawnWorkers)
+    return runSupervisor(argc, argv, SpawnWorkers, MaxRestarts, Options);
+
   std::printf("# alic_campaign  [ALIC_SCALE=%s] %zu benchmark(s) x %zu "
               "model(s) x %zu scorer(s) x %zu batch(es) x %u seed(s), "
               "state-dir=%s, threads=%u\n",
               Spec.ScaleName.c_str(), Spec.benchmarkList().size(),
               Spec.Models.size(), Spec.Scorers.size(), Spec.BatchSizes.size(),
               Spec.repetitions(), Options.StateDir.c_str(), Options.Threads);
+  if (Options.ShardCount)
+    std::printf("# static shard %u of %u -> %s\n", Options.ShardIndex,
+                Options.ShardCount, Options.ledgerPath().c_str());
+  else if (Options.LeaseClaim)
+    std::printf("# lease claiming: ttl %llu ms, heartbeat %llu ms, %u "
+                "cell(s)/range, leases in %s\n",
+                (unsigned long long)Options.LeaseTtlMs,
+                (unsigned long long)(Options.LeaseHeartbeatMs
+                                         ? Options.LeaseHeartbeatMs
+                                         : Options.LeaseTtlMs / 4),
+                Options.LeaseRangeCells ? Options.LeaseRangeCells : 16,
+                Options.leaseDir().c_str());
 
   CampaignProgress Progress = runCampaignCells(Spec, Options);
   std::printf("cells: %zu total, %zu already checkpointed, %zu run now\n",
               Progress.TotalCells, Progress.AlreadyDone, Progress.NewlyRun);
+  if (Options.ShardCount)
+    std::printf("shard slice: %zu of %zu cell(s)\n", Progress.ShardCells,
+                Progress.TotalCells);
   if (Progress.WorkersUsed)
     std::printf("scheduler: %u worker(s), %llu task(s) executed "
                 "(%zu cells + nested shards), %llu steal(s)%s\n",
@@ -247,6 +526,15 @@ int main(int argc, char **argv) {
                 "command to resume from %s\n",
                 Options.ledgerPath().c_str());
     return ExitIncomplete;
+  }
+  if (Options.sharded()) {
+    // Sharded workers never aggregate — that would race the other
+    // workers' appends.  Merge once the fleet is done, then aggregate
+    // from the canonical ledger (plain re-run or the bench renderers).
+    std::printf("shard ledger complete: %s; when all workers are done, "
+                "run --merge-ledgers --state-dir=%s\n",
+                Options.ledgerPath().c_str(), Options.StateDir.c_str());
+    return 0;
   }
 
   CampaignResult Result;

@@ -31,6 +31,7 @@
 
 #include "serve/ServeEngine.h"
 #include "serve/Wire.h"
+#include "support/Backoff.h"
 #include "support/FailPoint.h"
 
 #include <cerrno>
@@ -232,6 +233,12 @@ int main(int Argc, char **Argv) {
   bool Draining = false;
   uint64_t DrainDeadlineMs = 0;
   uint64_t AcceptBackoffUntilMs = 0;
+  // Escalating accept backoff: consecutive resource-exhaustion failures
+  // (EMFILE and friends) wait 100 ms doubling to 1.6 s, jittered so a
+  // fleet of daemons starved by the same global descriptor table does not
+  // retry in lockstep.  One successful accept resets the ladder.
+  const Backoff AcceptBackoff(0xacce97, 100, 1600);
+  uint64_t AcceptFailures = 0;
 
   // Stop accepting, finish in-flight work, then exit through the
   // post-loop snapshotAll.
@@ -405,6 +412,7 @@ int main(int Argc, char **Argv) {
         if (Fd >= 0) {
           setNonBlocking(Fd);
           Clients.push_back({Fd, {}, {}, nowMs(), false});
+          AcceptFailures = 0;
           continue;
         }
         if (errno == EINTR)
@@ -416,10 +424,11 @@ int main(int Argc, char **Argv) {
             errno == ENOMEM) {
           // Out of descriptors/buffers: back off instead of spinning on a
           // level-triggered POLLIN we cannot service.
-          AcceptBackoffUntilMs = nowMs() + 100;
+          uint64_t Delay = AcceptBackoff.delayMs(AcceptFailures++);
+          AcceptBackoffUntilMs = nowMs() + Delay;
           std::fprintf(stderr,
-                       "alic_serve: accept: %s; backing off 100ms\n",
-                       std::strerror(errno));
+                       "alic_serve: accept: %s; backing off %llu ms\n",
+                       std::strerror(errno), (unsigned long long)Delay);
           break;
         }
         std::perror("alic_serve: accept");

@@ -3,17 +3,21 @@
 #include "exp/Campaign.h"
 
 #include "exp/Dataset.h"
+#include "exp/ShardLease.h"
 #include "measure/Profiler.h"
 #include "spapt/Suite.h"
 #include "stats/Metrics.h"
 #include "stats/OnlineStats.h"
+#include "support/Backoff.h"
 #include "support/Error.h"
 #include "support/FailPoint.h"
 #include "support/Format.h"
 #include "support/Json.h"
 #include "support/Scheduler.h"
+#include "support/Serialize.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -374,11 +378,16 @@ void forEachIndex(Scheduler *Pool, size_t N,
 // Durable ledger appends (degrade, never abort)
 //===----------------------------------------------------------------------===//
 
-/// Append attempts per cell before quarantining it; retry r sleeps
-/// 2^(r-1) milliseconds first (1+2+4 ms total) — long enough to ride out
-/// a transient EINTR/EIO blip, short enough that a truly full disk
-/// quarantines a 275-cell campaign in about a second.
+/// Append attempts per cell before quarantining it.  Retries follow the
+/// shared jittered-exponential schedule (support/Backoff): a 1 ms
+/// envelope doubling to 4 ms — the old 1/2/4 ms ladder's envelope — long
+/// enough to ride out a transient EINTR/EIO blip, short enough that a
+/// truly full disk quarantines a 275-cell campaign in about a second.
 constexpr int LedgerAppendAttempts = 4;
+
+/// Seed of the ledger-retry Backoff stream (any fixed value works; the
+/// schedule never affects results, only sleep lengths).
+constexpr uint64_t LedgerBackoffSeed = 0x1ed6e4ull;
 
 /// One append attempt: write \p Line, flush, fsync.  \p Seal prefixes a
 /// newline — a previous attempt may have torn mid-line, and gluing this
@@ -418,10 +427,11 @@ Status tryAppendLine(std::FILE *Out, const std::string &Path,
 Status appendLineWithRetry(std::FILE *Out, const std::string &Path,
                            const std::string &Line, bool &NeedSeal) {
   Status St;
+  Backoff Retry(LedgerBackoffSeed, /*BaseMs=*/1, /*CapMs=*/4);
   for (int Attempt = 0; Attempt != LedgerAppendAttempts; ++Attempt) {
     if (Attempt)
       std::this_thread::sleep_for(
-          std::chrono::milliseconds(1u << (Attempt - 1)));
+          std::chrono::milliseconds(Retry.delayMs(uint64_t(Attempt - 1))));
     St = tryAppendLine(Out, Path, Line, /*Seal=*/NeedSeal || Attempt != 0);
     if (St.ok()) {
       NeedSeal = false;
@@ -432,6 +442,340 @@ Status appendLineWithRetry(std::FILE *Out, const std::string &Path,
   return St;
 }
 
+//===----------------------------------------------------------------------===//
+// Shared orchestration pieces (single- and multi-process modes)
+//===----------------------------------------------------------------------===//
+
+/// Every worker ledger under \p StateDir — the canonical cells.jsonl plus
+/// any per-worker cells.<worker>.jsonl — sorted by name so reads are
+/// deterministic.
+std::vector<std::string> shardLedgerPaths(const std::string &StateDir) {
+  std::vector<std::string> Paths;
+  std::error_code Ec;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(StateDir, Ec)) {
+    std::string Name = Entry.path().filename().string();
+    if (Name.rfind("cells", 0) == 0 && Name.size() > 6 &&
+        Name.compare(Name.size() - 6, 6, ".jsonl") == 0)
+      Paths.push_back(StateDir + "/" + Name);
+  }
+  std::sort(Paths.begin(), Paths.end());
+  return Paths;
+}
+
+/// The union of every worker ledger: what is done *anywhere*.  Cells are
+/// deterministic, so when two ledgers hold the same key the entries are
+/// interchangeable and first-in wins.
+std::unordered_map<std::string, CellResult>
+loadLedgerUnion(const std::string &StateDir) {
+  std::unordered_map<std::string, CellResult> Union;
+  for (const std::string &Path : shardLedgerPaths(StateDir)) {
+    std::unordered_map<std::string, CellResult> One = loadLedger(Path);
+    for (auto &Entry : One)
+      Union.emplace(Entry.first, std::move(Entry.second));
+  }
+  return Union;
+}
+
+/// Creates Options.StateDir, fsyncing its parent on first creation so
+/// the new directory entry itself survives a crash (the
+/// writeFileDurable discipline, applied to the campaign's root).
+Status prepareStateDir(const CampaignOptions &Options) {
+  std::error_code Ec;
+  bool Created = std::filesystem::create_directories(Options.StateDir, Ec);
+  if (Ec)
+    return Status::failure("create state dir " + Options.StateDir,
+                           Ec.value());
+  if (Created)
+    (void)syncParentDir(Options.StateDir); // best-effort (EINVAL-tolerant)
+  return Status::success();
+}
+
+/// Opens the ledger for appending.  On first create the state dir is
+/// fsync'd (a synced append is worthless if the file's directory entry
+/// vanishes with a power loss), and a torn trailing line a crash left is
+/// sealed into its own skippable line so the next append cannot glue
+/// onto the remnant.
+std::FILE *openLedgerAppend(const std::string &Path) {
+  bool Existed = std::filesystem::exists(Path);
+  std::FILE *Out = std::fopen(Path.c_str(), "ab");
+  if (!Out)
+    return nullptr;
+  if (!Existed)
+    (void)syncParentDir(Path); // best-effort
+  std::FILE *In = std::fopen(Path.c_str(), "rb");
+  if (In) {
+    char LastByte = '\n';
+    bool NonEmpty = std::fseek(In, -1, SEEK_END) == 0 &&
+                    std::fread(&LastByte, 1, 1, In) == 1;
+    std::fclose(In);
+    if (NonEmpty && LastByte != '\n')
+      std::fputc('\n', Out);
+  }
+  return Out;
+}
+
+/// Memoizes datasets for any of \p Benchmarks not yet in \p Datasets
+/// (the blob cache makes this a deserialize everywhere after the first
+/// build on the machine).
+void ensureDatasets(const CampaignSpec &Spec, const CampaignOptions &Options,
+                    Scheduler *Pool,
+                    const std::vector<std::string> &Benchmarks,
+                    std::unordered_map<std::string, Dataset> &Datasets) {
+  std::vector<std::string> Needed;
+  for (const std::string &Name : Benchmarks)
+    if (!Datasets.count(Name) &&
+        std::find(Needed.begin(), Needed.end(), Name) == Needed.end())
+      Needed.push_back(Name);
+  if (Needed.empty())
+    return;
+  std::mutex DatasetMutex;
+  const ExperimentScale &S = Spec.Scale;
+  forEachIndex(Pool, Needed.size(), [&](size_t I) {
+    const std::string &Name = Needed[I];
+    auto B = createSpaptBenchmark(Name);
+    Dataset D = loadOrBuildDataset(*B, S.NumConfigs, S.TrainFraction,
+                                   S.MeanObservations, Spec.DatasetSeed,
+                                   Options.datasetCacheDir());
+    std::lock_guard<std::mutex> Lock(DatasetMutex);
+    Datasets.emplace(Name, std::move(D));
+  });
+}
+
+/// One cell, either kind.
+CellResult computeCell(const CampaignSpec &Spec, const CampaignCell &Cell,
+                       const std::unordered_map<std::string, Dataset> &Datasets,
+                       Scheduler *CellWorkers) {
+  return Cell.CellKind == CampaignCell::Kind::Noise
+             ? computeNoiseCell(Spec, Cell.Benchmark)
+             : computeRunCell(Spec, Cell, Datasets.at(Cell.Benchmark),
+                              CellWorkers);
+}
+
+/// The spec's cells deduplicated by key, in canonical expandCells order —
+/// the list every sharding mode splits, so all workers agree on range
+/// boundaries without talking to each other.
+std::vector<const CampaignCell *>
+uniqueCells(const CampaignSpec &Spec, const std::vector<CampaignCell> &Cells) {
+  std::vector<const CampaignCell *> Unique;
+  std::unordered_set<std::string> Seen;
+  for (const CampaignCell &Cell : Cells)
+    if (Seen.insert(Cell.key(Spec)).second)
+      Unique.push_back(&Cell);
+  return Unique;
+}
+
+//===----------------------------------------------------------------------===//
+// Lease-claim orchestration (dynamic multi-process sharding)
+//===----------------------------------------------------------------------===//
+
+/// The lease-mode worker loop: claim a range of the canonical cell list,
+/// run its missing cells under a heartbeat, release, repeat — until the
+/// union of all worker ledgers covers the whole spec.  Ranges whose
+/// leases are held by live owners are polled; ranges whose owner died
+/// are stolen once the lease expires.  Leases are an efficiency
+/// mechanism only: any race at worst duplicates deterministic work (the
+/// merge dedupes byte-identical lines), it never corrupts results.
+CampaignProgress runLeaseCampaignCells(const CampaignSpec &Spec,
+                                       const CampaignOptions &BaseOptions) {
+  // Every lease worker appends to its own ledger; default a unique tag
+  // when the caller did not pick one.
+  CampaignOptions Options = BaseOptions;
+  if (Options.WorkerId.empty())
+    Options.WorkerId = "w" + std::to_string(int(::getpid()));
+  const char *Tag = Options.WorkerId.c_str();
+
+  CampaignProgress Progress;
+  std::vector<CampaignCell> Cells = expandCells(Spec);
+  std::vector<const CampaignCell *> Unique = uniqueCells(Spec, Cells);
+  Progress.TotalCells = Progress.ShardCells = Unique.size();
+
+  auto QuarantineAll = [&](const std::vector<const CampaignCell *> &List) {
+    for (const CampaignCell *Cell : List)
+      Progress.QuarantinedCells.push_back(Cell->key(Spec));
+  };
+
+  LeaseOptions LOpts;
+  LOpts.Dir = Options.leaseDir();
+  LOpts.OwnerToken = makeLeaseOwnerToken(Options.WorkerId);
+  LOpts.TtlMs = Options.LeaseTtlMs ? Options.LeaseTtlMs : 2000;
+  LOpts.HeartbeatMs = Options.LeaseHeartbeatMs;
+  ShardLease Leases(LOpts);
+
+  Status Prepared = prepareStateDir(Options);
+  if (Prepared.ok())
+    Prepared = Leases.init();
+  if (!Prepared.ok()) {
+    std::fprintf(stderr,
+                 "campaign[%s]: %s — quarantining all missing cells\n", Tag,
+                 Prepared.message().c_str());
+    QuarantineAll(Unique);
+    return Progress;
+  }
+
+  std::unique_ptr<Scheduler> Pool;
+  if (Options.Threads) {
+    Scheduler::Options SchedOptions;
+    SchedOptions.Threads = Options.Threads;
+    if (Options.StealSeed)
+      SchedOptions.StealSeed = Options.StealSeed;
+    Pool = std::make_unique<Scheduler>(SchedOptions);
+    Progress.WorkersUsed = Pool->numThreads();
+  }
+  Scheduler *CellWorkers = Options.NestCells ? Pool.get() : nullptr;
+
+  std::FILE *Out = openLedgerAppend(Options.ledgerPath());
+  if (!Out) {
+    std::fprintf(stderr,
+                 "campaign[%s]: cannot open ledger %s for append: %s — "
+                 "quarantining all missing cells\n",
+                 Tag, Options.ledgerPath().c_str(), std::strerror(errno));
+    std::unordered_map<std::string, CellResult> Union =
+        loadLedgerUnion(Options.StateDir);
+    std::vector<const CampaignCell *> Missing;
+    for (const CampaignCell *Cell : Unique)
+      if (!Union.count(Cell->key(Spec)))
+        Missing.push_back(Cell);
+    Progress.AlreadyDone = Unique.size() - Missing.size();
+    QuarantineAll(Missing);
+    std::sort(Progress.QuarantinedCells.begin(),
+              Progress.QuarantinedCells.end());
+    return Progress;
+  }
+
+  std::vector<ShardRange> Ranges = splitRangesByCells(
+      Unique.size(), Options.LeaseRangeCells ? Options.LeaseRangeCells : 16);
+  std::vector<char> Poisoned(Ranges.size(), 0);
+
+  std::unordered_map<std::string, Dataset> Datasets;
+  std::mutex WriteMutex;
+  size_t Completed = 0, Appended = 0;
+  bool NeedSeal = false;
+  std::atomic<bool> Interrupted{false};
+
+  // Start the cyclic claim scan at a token-derived offset so K workers
+  // spread across the range list instead of all contending for range 0.
+  uint64_t TokenHash = 0;
+  for (char C : LOpts.OwnerToken)
+    TokenHash = TokenHash * 131 + uint8_t(C);
+  size_t ScanStart = Ranges.empty() ? 0 : size_t(TokenHash % Ranges.size());
+
+  bool AllDone = false;
+  bool CountedInitial = false;
+  while (!Interrupted.load(std::memory_order_relaxed)) {
+    // What is done *anywhere* — all worker ledgers plus the canonical one
+    // — decides both global completion and which ranges still matter.
+    std::unordered_map<std::string, CellResult> Union =
+        loadLedgerUnion(Options.StateDir);
+    if (!CountedInitial) {
+      CountedInitial = true;
+      for (const CampaignCell *Cell : Unique)
+        if (Union.count(Cell->key(Spec)))
+          ++Progress.AlreadyDone;
+    }
+
+    bool AnyMissing = false, AnyUnpoisoned = false, RanRange = false;
+    for (size_t Off = 0; Off != Ranges.size(); ++Off) {
+      const ShardRange &Range = Ranges[(ScanStart + Off) % Ranges.size()];
+      std::vector<const CampaignCell *> Missing;
+      for (size_t I = Range.Begin; I != Range.End; ++I)
+        if (!Union.count(Unique[I]->key(Spec)))
+          Missing.push_back(Unique[I]);
+      if (Missing.empty())
+        continue;
+      AnyMissing = true;
+      if (Poisoned[Range.Index])
+        continue; // our appends failed here; leave it to other workers
+      AnyUnpoisoned = true;
+
+      RangeLease Lease;
+      if (Leases.tryClaim(Range.Index, Lease) != ShardLease::Claim::Acquired)
+        continue; // live owner, or we lost a claim/steal race — rescan later
+      RanRange = true;
+      if (!Options.Quiet)
+        std::fprintf(stderr,
+                     "  campaign[%s] leased range %zu (%zu missing cell(s))\n",
+                     Tag, Range.Index, Missing.size());
+
+      std::vector<std::string> Benchmarks;
+      for (const CampaignCell *Cell : Missing)
+        if (Cell->CellKind == CampaignCell::Kind::Run)
+          Benchmarks.push_back(Cell->Benchmark);
+      ensureDatasets(Spec, Options, Pool.get(), Benchmarks, Datasets);
+
+      std::atomic<bool> RangeFailed{false};
+      {
+        LeaseHeartbeat Heartbeat(Lease, LOpts);
+        forEachIndex(Pool.get(), Missing.size(), [&](size_t I) {
+          // A lost heartbeat means the range was stolen: abandon the
+          // rest (the thief recomputes them — safe, just duplicated
+          // work).  A failed append poisons the range for this worker.
+          if (Heartbeat.lost() || RangeFailed.load(std::memory_order_relaxed) ||
+              Interrupted.load(std::memory_order_relaxed))
+            return;
+          const CampaignCell &Cell = *Missing[I];
+          CellResult Result = computeCell(Spec, Cell, Datasets, CellWorkers);
+          std::string Key = Cell.key(Spec);
+          std::string Line = cellLine(Key, Cell.CellKind, Result);
+
+          std::lock_guard<std::mutex> Lock(WriteMutex);
+          Status St =
+              appendLineWithRetry(Out, Options.ledgerPath(), Line, NeedSeal);
+          ++Completed;
+          if (St.ok()) {
+            ++Appended;
+            if (!Options.Quiet)
+              std::fprintf(stderr, "  campaign[%s] [+%zu] %s\n", Tag,
+                           Appended, Key.c_str());
+            if (Options.MaxCells && Appended >= Options.MaxCells)
+              Interrupted.store(true, std::memory_order_relaxed);
+          } else {
+            Progress.QuarantinedCells.push_back(Key);
+            RangeFailed.store(true, std::memory_order_relaxed);
+            std::fprintf(stderr, "  campaign[%s] QUARANTINED %s: %s\n", Tag,
+                         Key.c_str(), St.message().c_str());
+          }
+        });
+      } // heartbeat stopped (joined) before the lease is touched again
+      if (RangeFailed.load(std::memory_order_relaxed))
+        Poisoned[Range.Index] = 1;
+      Lease.release();
+      // Rescan from a fresh union after every range: cheap at campaign
+      // scales, and it avoids claiming ranges another worker finished
+      // while we were busy.
+      break;
+    }
+
+    if (Interrupted.load(std::memory_order_relaxed))
+      break;
+    if (RanRange)
+      continue;
+    if (!AnyMissing) {
+      AllDone = true;
+      break;
+    }
+    if (!AnyUnpoisoned)
+      break; // everything left failed locally: give up with quarantine
+    // Remaining ranges are leased by (apparently) live owners: wait one
+    // heartbeat and rescan.  A dead owner's lease expires TtlMs after its
+    // last renewal and the next scan steals it.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(LOpts.heartbeatMs()));
+  }
+  std::fclose(Out);
+
+  if (Pool) {
+    SchedulerStats Stats = Pool->stats();
+    Progress.TasksExecuted = Stats.Executed;
+    Progress.Steals = Stats.Steals;
+  }
+  Progress.NewlyRun = Appended;
+  std::sort(Progress.QuarantinedCells.begin(),
+            Progress.QuarantinedCells.end());
+  Progress.Complete = AllDone && Progress.QuarantinedCells.empty();
+  return Progress;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -440,6 +784,9 @@ Status appendLineWithRetry(std::FILE *Out, const std::string &Path,
 
 CampaignProgress alic::runCampaignCells(const CampaignSpec &Spec,
                                         const CampaignOptions &Options) {
+  if (Options.LeaseClaim)
+    return runLeaseCampaignCells(Spec, Options);
+
   std::vector<CampaignCell> Cells = expandCells(Spec);
   CampaignProgress Progress;
 
@@ -452,38 +799,45 @@ CampaignProgress alic::runCampaignCells(const CampaignSpec &Spec,
       Progress.QuarantinedCells.push_back(Cell->key(S));
   };
 
-  std::error_code Ec;
-  std::filesystem::create_directories(Options.StateDir, Ec);
-  if (Ec) {
+  // Unique cells in canonical spec order (unique keys, so a pathological
+  // spec with duplicates still completes), then — under static sharding —
+  // this worker's contiguous slice of that list.  Every worker computes
+  // the same split locally, so the shards are disjoint and exhaustive
+  // with no coordination.
+  std::vector<const CampaignCell *> Unique = uniqueCells(Spec, Cells);
+  Progress.TotalCells = Unique.size();
+  std::vector<const CampaignCell *> Ours;
+  if (Options.ShardCount) {
+    std::vector<ShardRange> Ranges =
+        splitRanges(Unique.size(), Options.ShardCount);
+    const ShardRange &Range = Ranges[Options.ShardIndex % Ranges.size()];
+    Ours.assign(Unique.begin() + Range.Begin, Unique.begin() + Range.End);
+  } else {
+    Ours = Unique;
+  }
+  Progress.ShardCells = Ours.size();
+
+  Status Prepared = prepareStateDir(Options);
+  if (!Prepared.ok()) {
     std::fprintf(stderr,
-                 "campaign: cannot create state dir %s: %s — quarantining "
-                 "all missing cells\n",
-                 Options.StateDir.c_str(), Ec.message().c_str());
-    std::vector<const CampaignCell *> All;
-    std::unordered_set<std::string> SeenKeys;
-    for (const CampaignCell &Cell : Cells)
-      if (SeenKeys.insert(Cell.key(Spec)).second)
-        All.push_back(&Cell);
-    Progress.TotalCells = All.size();
-    QuarantineAll(Spec, All);
+                 "campaign: %s — quarantining all missing cells\n",
+                 Prepared.message().c_str());
+    QuarantineAll(Spec, Ours);
     return Progress;
   }
 
+  // Done-ness: the canonical ledger alone (unsharded), or the union of
+  // every worker ledger when sharded (a rebalanced or re-split fleet may
+  // have left our cells in another worker's ledger).
   std::unordered_map<std::string, CellResult> Ledger =
-      loadLedger(Options.ledgerPath());
+      Options.sharded() ? loadLedgerUnion(Options.StateDir)
+                        : loadLedger(Options.ledgerPath());
 
-  // Missing cells, deduplicated by key, in spec order.  Progress counts
-  // unique keys so a (pathological) spec with duplicates still completes.
   std::vector<const CampaignCell *> Missing;
-  std::unordered_set<std::string> Seen;
-  for (const CampaignCell &Cell : Cells) {
-    std::string Key = Cell.key(Spec);
-    if (!Seen.insert(Key).second || Ledger.count(Key))
-      continue;
-    Missing.push_back(&Cell);
-  }
-  Progress.TotalCells = Seen.size();
-  Progress.AlreadyDone = Progress.TotalCells - Missing.size();
+  for (const CampaignCell *Cell : Ours)
+    if (!Ledger.count(Cell->key(Spec)))
+      Missing.push_back(Cell);
+  Progress.AlreadyDone = Ours.size() - Missing.size();
 
   if (Options.ShuffleSeed) {
     Rng Shuffler(Options.ShuffleSeed);
@@ -495,7 +849,7 @@ CampaignProgress alic::runCampaignCells(const CampaignSpec &Spec,
 
   if (Missing.empty()) {
     Progress.Complete = !Truncated && Progress.AlreadyDone ==
-                                          Progress.TotalCells;
+                                          Progress.ShardCells;
     return Progress;
   }
 
@@ -514,27 +868,12 @@ CampaignProgress alic::runCampaignCells(const CampaignSpec &Spec,
   // cache makes this a deserialize on every run after the first).
   std::vector<std::string> NeededBenchmarks;
   for (const CampaignCell *Cell : Missing)
-    if (Cell->CellKind == CampaignCell::Kind::Run &&
-        std::find(NeededBenchmarks.begin(), NeededBenchmarks.end(),
-                  Cell->Benchmark) == NeededBenchmarks.end())
+    if (Cell->CellKind == CampaignCell::Kind::Run)
       NeededBenchmarks.push_back(Cell->Benchmark);
-
   std::unordered_map<std::string, Dataset> Datasets;
-  {
-    std::mutex DatasetMutex;
-    const ExperimentScale &S = Spec.Scale;
-    forEachIndex(Pool.get(), NeededBenchmarks.size(), [&](size_t I) {
-      const std::string &Name = NeededBenchmarks[I];
-      auto B = createSpaptBenchmark(Name);
-      Dataset D = loadOrBuildDataset(*B, S.NumConfigs, S.TrainFraction,
-                                     S.MeanObservations, Spec.DatasetSeed,
-                                     Options.datasetCacheDir());
-      std::lock_guard<std::mutex> Lock(DatasetMutex);
-      Datasets.emplace(Name, std::move(D));
-    });
-  }
+  ensureDatasets(Spec, Options, Pool.get(), NeededBenchmarks, Datasets);
 
-  std::FILE *Out = std::fopen(Options.ledgerPath().c_str(), "ab");
+  std::FILE *Out = openLedgerAppend(Options.ledgerPath());
   if (!Out) {
     std::fprintf(stderr,
                  "campaign: cannot open ledger %s for append: %s — "
@@ -543,31 +882,13 @@ CampaignProgress alic::runCampaignCells(const CampaignSpec &Spec,
     QuarantineAll(Spec, Missing);
     return Progress;
   }
-  // A crash can leave a partial trailing line with no newline; appending
-  // straight after it would glue the next record onto the remnant and
-  // lose both.  Seal the remnant into its own (skippable) line first.
-  {
-    std::FILE *In = std::fopen(Options.ledgerPath().c_str(), "rb");
-    if (In) {
-      char LastByte = '\n';
-      bool NonEmpty = std::fseek(In, -1, SEEK_END) == 0 &&
-                      std::fread(&LastByte, 1, 1, In) == 1;
-      std::fclose(In);
-      if (NonEmpty && LastByte != '\n')
-        std::fputc('\n', Out);
-    }
-  }
 
   std::mutex WriteMutex;
   size_t Completed = 0, Appended = 0;
   bool NeedSeal = false; // a failed append may have left a torn remnant
   forEachIndex(Pool.get(), Missing.size(), [&](size_t I) {
     const CampaignCell &Cell = *Missing[I];
-    CellResult Result =
-        Cell.CellKind == CampaignCell::Kind::Noise
-            ? computeNoiseCell(Spec, Cell.Benchmark)
-            : computeRunCell(Spec, Cell, Datasets.at(Cell.Benchmark),
-                             CellWorkers);
+    CellResult Result = computeCell(Spec, Cell, Datasets, CellWorkers);
     std::string Key = Cell.key(Spec);
     std::string Line = cellLine(Key, Cell.CellKind, Result);
 
@@ -583,12 +904,12 @@ CampaignProgress alic::runCampaignCells(const CampaignSpec &Spec,
       ++Appended;
       if (!Options.Quiet)
         std::fprintf(stderr, "  campaign [%zu/%zu] %s\n",
-                     Progress.AlreadyDone + Completed, Progress.TotalCells,
+                     Progress.AlreadyDone + Completed, Progress.ShardCells,
                      Key.c_str());
     } else {
       Progress.QuarantinedCells.push_back(Key);
       std::fprintf(stderr, "  campaign [%zu/%zu] QUARANTINED %s: %s\n",
-                   Progress.AlreadyDone + Completed, Progress.TotalCells,
+                   Progress.AlreadyDone + Completed, Progress.ShardCells,
                    Key.c_str(), St.message().c_str());
     }
   });
@@ -604,7 +925,7 @@ CampaignProgress alic::runCampaignCells(const CampaignSpec &Spec,
   std::sort(Progress.QuarantinedCells.begin(),
             Progress.QuarantinedCells.end());
   Progress.Complete = Progress.QuarantinedCells.empty() &&
-                      Progress.AlreadyDone + Completed == Progress.TotalCells;
+                      Progress.AlreadyDone + Completed == Progress.ShardCells;
   return Progress;
 }
 
@@ -697,6 +1018,115 @@ bool alic::aggregateCampaign(const CampaignSpec &Spec,
   if (!Speedups.empty())
     Out.GeomeanSpeedup = geometricMean(Speedups);
   return true;
+}
+
+Status alic::mergeLedgers(const CampaignSpec &Spec,
+                          const CampaignOptions &Options,
+                          LedgerMergeReport &Report) {
+  Report = LedgerMergeReport();
+  std::vector<std::string> Inputs = shardLedgerPaths(Options.StateDir);
+  if (Inputs.empty())
+    return Status::failure("no cells*.jsonl ledgers under " + Options.StateDir,
+                           ENOENT);
+
+  // Key -> exact line bytes (newline excluded).  The comparison is on
+  // bytes, not parsed values: equal parses with different bytes would
+  // still break the byte-identical-aggregate contract downstream.
+  std::unordered_map<std::string, std::string> LineByKey;
+  std::vector<std::string> Conflicts;
+  for (const std::string &Path : Inputs) {
+    ++Report.InputFiles;
+    FailOutcome F = ALIC_FAILPOINT("merge.read");
+    if (F.Fire)
+      return Status::failure("read shard ledger " + Path + " (injected)",
+                             F.Errno);
+    std::FILE *File = std::fopen(Path.c_str(), "rb");
+    if (!File)
+      return Status::failure("open shard ledger " + Path, errno);
+    std::string Content;
+    char Chunk[1 << 16];
+    size_t Got;
+    while ((Got = std::fread(Chunk, 1, sizeof(Chunk), File)) > 0)
+      Content.append(Chunk, Got);
+    bool ReadOk = std::ferror(File) == 0;
+    std::fclose(File);
+    if (!ReadOk)
+      return Status::failure("read shard ledger " + Path, EIO);
+
+    size_t Pos = 0;
+    while (Pos < Content.size()) {
+      size_t Eol = Content.find('\n', Pos);
+      if (Eol == std::string::npos) {
+        ++Report.TornTails; // unterminated tail: seal (drop) it
+        break;
+      }
+      std::string Line = Content.substr(Pos, Eol - Pos);
+      Pos = Eol + 1;
+      if (Line.empty())
+        continue;
+      std::string Key;
+      CellResult Parsed;
+      if (!parseCellLine(Line, Key, Parsed)) {
+        ++Report.SkippedGarbage; // a sealed crash remnant
+        continue;
+      }
+      ++Report.Lines;
+      auto Inserted = LineByKey.emplace(Key, Line);
+      if (Inserted.second)
+        continue;
+      if (Inserted.first->second == Line)
+        ++Report.DuplicateCells; // determinism made the rerun identical
+      else
+        Conflicts.push_back(Key); // same key, different bytes: corruption
+    }
+  }
+  Report.UniqueCells = LineByKey.size();
+
+  std::sort(Conflicts.begin(), Conflicts.end());
+  Conflicts.erase(std::unique(Conflicts.begin(), Conflicts.end()),
+                  Conflicts.end());
+  Report.ConflictKeys = std::move(Conflicts);
+  if (!Report.ConflictKeys.empty())
+    return Status::success(); // quarantined: report set, nothing written
+
+  // Canonical order: the spec's cells exactly as one inline process would
+  // have appended them (so the merged ledger is byte-identical to a
+  // single-process run), then foreign cells — other scales or specs
+  // sharing the state dir — in key order.
+  std::string Merged;
+  std::unordered_set<std::string> Emitted;
+  for (const CampaignCell &Cell : expandCells(Spec)) {
+    std::string Key = Cell.key(Spec);
+    auto It = LineByKey.find(Key);
+    if (It == LineByKey.end() || !Emitted.insert(Key).second)
+      continue;
+    Merged += It->second;
+    Merged += '\n';
+  }
+  std::vector<std::string> Foreign;
+  for (const auto &Entry : LineByKey)
+    if (!Emitted.count(Entry.first))
+      Foreign.push_back(Entry.first);
+  std::sort(Foreign.begin(), Foreign.end());
+  Report.ForeignCells = Foreign.size();
+  for (const std::string &Key : Foreign) {
+    Merged += LineByKey[Key];
+    Merged += '\n';
+  }
+
+  FailOutcome F = ALIC_FAILPOINT("merge.append");
+  if (F.Fire)
+    return Status::failure("write merged ledger " +
+                               Options.canonicalLedgerPath() + " (injected)",
+                           F.Errno);
+  // Atomic + durable publish: a crash mid-merge leaves the previous
+  // canonical ledger (or its absence) intact, never a half-merged one.
+  ByteWriter Writer;
+  Writer.writeRaw(Merged);
+  Status St = Writer.writeFileDurable(Options.canonicalLedgerPath());
+  if (St.ok())
+    Report.Wrote = true;
+  return St;
 }
 
 bool alic::runCampaign(const CampaignSpec &Spec,

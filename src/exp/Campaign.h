@@ -42,6 +42,7 @@
 #define ALIC_EXP_CAMPAIGN_H
 
 #include "exp/Runner.h"
+#include "support/Error.h"
 
 #include <string>
 #include <vector>
@@ -194,8 +195,52 @@ struct CampaignOptions {
   /// Suppress per-cell progress lines on stderr.
   bool Quiet = false;
 
-  /// The checkpoint ledger path under StateDir.
-  std::string ledgerPath() const { return StateDir + "/cells.jsonl"; }
+  // --- scale-out sharding (exp/ShardLease, ARCHITECTURE.md "Scale-out").
+  // Sharded invocations append to a per-worker ledger
+  // (cells.<worker>.jsonl) and skip nothing else: cells stay pure
+  // functions of their keys, so N processes produce the same bytes one
+  // process would, and mergeLedgers() proves it.
+
+  /// Static sharding: the total worker count.  Non-zero restricts this
+  /// invocation to shard ShardIndex of the canonical cell list, split
+  /// into ShardCount contiguous near-equal ranges (every worker computes
+  /// the same split locally — no coordination).
+  unsigned ShardCount = 0;
+  /// Static sharding: this worker's shard in [0, ShardCount).
+  unsigned ShardIndex = 0;
+  /// Dynamic sharding: claim cell ranges at runtime through lease files
+  /// in leaseDir(), stealing ranges whose owner died or wedged (stopped
+  /// heartbeating for LeaseTtlMs).  The invocation returns when every
+  /// spec cell is in the union of worker ledgers, whoever ran it.
+  bool LeaseClaim = false;
+  /// Lease expiry: a lease untouched for this long may be stolen.
+  uint64_t LeaseTtlMs = 2000;
+  /// Lease renewal cadence; 0 derives LeaseTtlMs / 4.
+  uint64_t LeaseHeartbeatMs = 0;
+  /// Target cells per claimable range in lease mode (floor 1).
+  unsigned LeaseRangeCells = 16;
+  /// Per-worker ledger tag: appends go to cells.<WorkerId>.jsonl.  Empty
+  /// defaults to the canonical ledger (unsharded), a shard<i>of<N> tag
+  /// (static sharding), or w<pid> (lease claiming).
+  std::string WorkerId;
+
+  /// True when this invocation runs as one worker of a sharded campaign.
+  bool sharded() const { return ShardCount > 0 || LeaseClaim; }
+
+  /// The ledger this invocation appends to: the canonical ledger, or the
+  /// per-worker ledger when sharded (see WorkerId).
+  std::string ledgerPath() const {
+    std::string Tag = WorkerId;
+    if (Tag.empty() && ShardCount)
+      Tag = "shard" + std::to_string(ShardIndex) + "of" +
+            std::to_string(ShardCount);
+    return Tag.empty() ? canonicalLedgerPath()
+                       : StateDir + "/cells." + Tag + ".jsonl";
+  }
+  /// The canonical (merged / single-process) ledger path under StateDir.
+  std::string canonicalLedgerPath() const { return StateDir + "/cells.jsonl"; }
+  /// The lease-file directory under StateDir (lease mode).
+  std::string leaseDir() const { return StateDir + "/leases"; }
   /// The dataset blob cache directory under StateDir.
   std::string datasetCacheDir() const { return StateDir + "/datasets"; }
 };
@@ -203,9 +248,15 @@ struct CampaignOptions {
 /// What one runCampaignCells invocation did.
 struct CampaignProgress {
   size_t TotalCells = 0;   ///< cells the spec expands to
-  size_t AlreadyDone = 0;  ///< found complete in the ledger
+  /// Cells this invocation is responsible for: TotalCells unsharded, the
+  /// static shard's slice under --shard (lease workers own whatever they
+  /// claim, so there it equals TotalCells too).
+  size_t ShardCells = 0;
+  size_t AlreadyDone = 0;  ///< of ShardCells, found complete in the ledger(s)
   size_t NewlyRun = 0;     ///< computed and durably appended by this invocation
-  bool Complete = false;   ///< every spec cell is now in the ledger
+  /// Unsharded / lease mode: every spec cell is now in the (union of)
+  /// ledger(s).  Static shard mode: every cell of *this shard's slice*.
+  bool Complete = false;
   /// Keys of cells whose ledger append failed even after the bounded
   /// retry/backoff (e.g. the disk filled up).  The campaign *finishes the
   /// remaining cells* instead of aborting; quarantined cells are simply
@@ -234,8 +285,54 @@ std::vector<CampaignCell> expandCells(const CampaignSpec &Spec);
 /// is quarantined (Progress.QuarantinedCells) while the rest of the
 /// campaign completes.  A state dir or ledger that cannot be opened at
 /// all quarantines every missing cell without computing any.
+///
+/// Multi-process modes (see CampaignOptions): with ShardCount set, only
+/// this worker's static slice of the canonical cell list runs; with
+/// LeaseClaim set, the worker claims cell ranges dynamically through
+/// exp/ShardLease and returns once *every* spec cell is present in the
+/// union of worker ledgers.  Either way appends go to the per-worker
+/// ledger and mergeLedgers() folds the shards back into the canonical
+/// one.
 CampaignProgress runCampaignCells(const CampaignSpec &Spec,
                                   const CampaignOptions &Options);
+
+/// What one mergeLedgers invocation saw and did.
+struct LedgerMergeReport {
+  size_t InputFiles = 0;     ///< cells*.jsonl ledgers read under StateDir
+  size_t Lines = 0;          ///< parsed cell lines across all inputs
+  size_t UniqueCells = 0;    ///< distinct cell keys in the union
+  size_t DuplicateCells = 0; ///< byte-identical duplicate lines dropped
+  size_t ForeignCells = 0;   ///< union cells outside this spec (other
+                             ///< scales sharing the ledger; kept, after
+                             ///< the spec's cells, in key order)
+  size_t TornTails = 0;      ///< unterminated trailing lines sealed off
+  size_t SkippedGarbage = 0; ///< complete-but-unparsable lines skipped
+                             ///< (sealed crash remnants)
+  /// Cell keys that appear in two inputs with *different* bytes.  Cells
+  /// are deterministic, so this never happens in a healthy fleet — it is
+  /// a corruption signal (mixed-up state dirs, bit rot, a tampered
+  /// shard).  Non-empty quarantines the merge: the canonical ledger is
+  /// not written and the CLI exits 74, the PR 7 quarantine discipline.
+  std::vector<std::string> ConflictKeys; ///< sorted, deduplicated
+  bool Wrote = false; ///< the canonical ledger was atomically replaced
+};
+
+/// Unions every shard ledger (cells*.jsonl, the canonical ledger
+/// included — merging is idempotent) under Options.StateDir into the
+/// canonical ledger, written atomically and durably (tmp + fsync + rename
+/// + dir fsync).  Per input, an unterminated trailing line is sealed off
+/// (dropped) and unparsable complete lines are skipped, exactly like
+/// ledger loading.  Output order is canonical: the spec's cells in
+/// expandCells order first (which makes the merged ledger byte-identical
+/// to one produced by a single inline process), then any foreign cells in
+/// lexicographic key order.  Duplicate keys are tolerated only when their
+/// lines are byte-identical; conflicting duplicates land in
+/// Report.ConflictKeys and suppress the write (see LedgerMergeReport).
+/// The returned Status is a *read/write I/O* verdict — a conflicted merge
+/// returns ok() with ConflictKeys set.  Fault-injection sites: merge.read
+/// (per-input open/read), merge.append (the canonical write).
+Status mergeLedgers(const CampaignSpec &Spec, const CampaignOptions &Options,
+                    LedgerMergeReport &Report);
 
 /// Aggregates a campaign from the ledger alone (never from in-memory
 /// results — the single code path that makes resumed and uninterrupted

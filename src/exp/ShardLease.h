@@ -1,0 +1,202 @@
+//===- exp/ShardLease.h - Range leases for multi-process campaigns -------===//
+//
+// Part of the ALIC project: a reproduction of "Minimizing the Cost of
+// Iterative Compilation with Active Learning" (Ogilvie et al., CGO 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coordination substrate that lets N independent alic_campaign
+/// processes (same box or a shared filesystem) cooperatively complete one
+/// spec: the canonical cell list is split into contiguous ranges, and a
+/// worker claims a range by creating `<state-dir>/leases/range-<I>.lease`
+/// with O_CREAT|O_EXCL — the filesystem arbitrates, no server, no locks.
+/// A held lease is renewed by bumping the file's mtime on a
+/// monotonic-clock cadence (LeaseHeartbeat); a lease whose mtime is older
+/// than the TTL belongs to a dead or wedged worker and may be *stolen*:
+/// the stealer renames the stale file away to a per-stealer name, and
+/// because rename of an already-moved source fails with ENOENT, exactly
+/// one of any number of concurrent stealers wins.  Every create/rename is
+/// made durable with the same directory-fsync discipline as
+/// ByteWriter::writeFileDurable.
+///
+/// Safety does NOT rest on the leases: campaign cells are pure functions
+/// of their keys and the ledger merge tolerates byte-identical duplicate
+/// lines, so the worst outcome of any race (a stolen-but-still-running
+/// owner, clock skew, a crashed stealer) is duplicated work, never a
+/// wrong result.  Leases are purely an efficiency mechanism; this is the
+/// "steal safety argument" in ARCHITECTURE.md's Scale-out section.
+///
+/// Fault-injection sites: lease.acquire, lease.renew, lease.steal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIC_EXP_SHARDLEASE_H
+#define ALIC_EXP_SHARDLEASE_H
+
+#include "support/Error.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace alic {
+
+/// One contiguous slice [Begin, End) of the canonical cell list.
+struct ShardRange {
+  size_t Index = 0; ///< range number (names the lease file)
+  size_t Begin = 0; ///< first cell index, inclusive
+  size_t End = 0;   ///< one past the last cell index
+
+  size_t size() const { return End - Begin; }
+};
+
+/// Splits \p NumItems into \p NumRanges contiguous near-equal ranges in
+/// order (the first NumItems % NumRanges ranges get one extra item).
+/// Deterministic: equal inputs give equal splits on every process, which
+/// is what lets workers agree on range boundaries without talking.
+/// NumRanges of 0 is treated as 1.  Always returns exactly NumRanges
+/// entries — trailing ones are empty when items run out, so static
+/// --shard i/N addressing works even when N exceeds the item count.
+std::vector<ShardRange> splitRanges(size_t NumItems, size_t NumRanges);
+
+/// Range partition for lease claiming: ceil(NumItems / TargetCells)
+/// ranges of roughly \p TargetCells cells each (floor 1); zero items
+/// give no ranges.
+std::vector<ShardRange> splitRangesByCells(size_t NumItems,
+                                           size_t TargetCells);
+
+/// Configuration of the lease-directory protocol.
+struct LeaseOptions {
+  std::string Dir;        ///< the `<state-dir>/leases` directory
+  std::string OwnerToken; ///< unique per worker process (content of leases)
+  /// A lease whose mtime is older than this is considered abandoned and
+  /// may be stolen.  Must comfortably exceed the heartbeat cadence.
+  uint64_t TtlMs = 2000;
+  /// Renewal cadence; 0 derives TtlMs / 4 (floor 1 ms).
+  uint64_t HeartbeatMs = 0;
+
+  /// The effective heartbeat cadence.
+  uint64_t heartbeatMs() const {
+    uint64_t Ms = HeartbeatMs ? HeartbeatMs : TtlMs / 4;
+    return Ms ? Ms : 1;
+  }
+};
+
+/// A held lease on one range.  Move-only; releases (unlinks) on
+/// destruction if still held.  Not thread-safe: stop any LeaseHeartbeat
+/// driving it before calling renew()/release() from another thread.
+class RangeLease {
+public:
+  RangeLease() = default;
+  ~RangeLease() { release(); }
+  RangeLease(RangeLease &&Other) noexcept { *this = std::move(Other); }
+  RangeLease &operator=(RangeLease &&Other) noexcept;
+  RangeLease(const RangeLease &) = delete;
+  RangeLease &operator=(const RangeLease &) = delete;
+
+  /// True while this process believes it owns the lease file.
+  bool held() const { return Fd >= 0; }
+
+  /// Bumps the lease file's mtime and verifies ownership (the path must
+  /// still resolve to the inode this process created — a mismatch means
+  /// the lease was stolen).  Returns false and drops the lease when
+  /// ownership was lost or the renewal failed; the caller must stop
+  /// claiming the range's remaining cells are exclusively its own.
+  /// Fault-injection site: lease.renew (error = renewal failure, crash =
+  /// the worker dies mid-heartbeat — the SIGKILL chaos scenario).
+  bool renew();
+
+  /// Unlinks the lease file (if still owned) and closes it.  Idempotent.
+  void release();
+
+  /// Closes the descriptor *without* unlinking — the on-disk lease file
+  /// stays behind exactly as a SIGKILLed owner would leave it.  Crash
+  /// simulation for tests.
+  void abandon();
+
+  /// The lease file path ("" when not held).
+  const std::string &path() const { return Path; }
+
+private:
+  friend class ShardLease;
+
+  int Fd = -1;
+  std::string Path;
+  uint64_t Dev = 0; ///< st_dev of the created file (ownership check)
+  uint64_t Ino = 0; ///< st_ino of the created file (ownership check)
+};
+
+/// The lease-directory protocol: claim ranges, steal expired ones.
+/// Stateless between calls (all state lives in the filesystem), so any
+/// number of ShardLease instances — across processes or threads — can
+/// point at the same directory.
+class ShardLease {
+public:
+  explicit ShardLease(LeaseOptions Options) : Opts(std::move(Options)) {}
+
+  /// Creates the lease directory (durably: parent fsync'd) if missing.
+  Status init() const;
+
+  /// What one claim attempt concluded.
+  enum class Claim {
+    Acquired, ///< \p Out holds the lease; the range is ours
+    Held,     ///< a live owner holds it (or we lost a claim/steal race)
+    Error     ///< transient I/O failure; treat like Held and retry later
+  };
+
+  /// Tries to claim range \p RangeIndex: O_EXCL-create the lease file,
+  /// or steal it if the existing one has expired.  Never blocks.
+  /// Fault-injection sites: lease.acquire (the create), lease.steal (the
+  /// rename-away) — both accept mode:crash for the chaos kill loops.
+  Claim tryClaim(size_t RangeIndex, RangeLease &Out) const;
+
+  /// The lease file path for range \p RangeIndex.
+  std::string leasePath(size_t RangeIndex) const;
+
+  const LeaseOptions &options() const { return Opts; }
+
+private:
+  LeaseOptions Opts;
+};
+
+/// Background renewal of one held lease: a thread bumps the lease mtime
+/// every heartbeatMs until stop() (or destruction), flagging lost() when
+/// a renewal discovers the lease was stolen.  The owner must call stop()
+/// before releasing or moving the lease (RangeLease is not thread-safe).
+class LeaseHeartbeat {
+public:
+  LeaseHeartbeat(RangeLease &Lease, const LeaseOptions &Opts);
+  ~LeaseHeartbeat() { stop(); }
+  LeaseHeartbeat(const LeaseHeartbeat &) = delete;
+  LeaseHeartbeat &operator=(const LeaseHeartbeat &) = delete;
+
+  /// Stops and joins the renewal thread.  Idempotent.
+  void stop();
+
+  /// True once a renewal observed the lease stolen (or failing): the
+  /// range is no longer exclusively ours, finish the current cell and
+  /// abandon the rest (recomputation elsewhere is safe — see the steal
+  /// safety argument).
+  bool lost() const { return Lost.load(std::memory_order_acquire); }
+
+private:
+  RangeLease &Lease;
+  std::atomic<bool> Lost{false};
+  bool Stopped = false;
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  std::thread Thread;
+};
+
+/// A process-unique owner token for LeaseOptions (pid + monotonic clock;
+/// uniqueness is all that matters, tokens never affect results).
+std::string makeLeaseOwnerToken(const std::string &Hint);
+
+} // namespace alic
+
+#endif // ALIC_EXP_SHARDLEASE_H

@@ -86,10 +86,10 @@ Status writeAllTo(int Fd, const uint8_t *Data, size_t Size,
   return Status::success();
 }
 
-/// fsync of the directory containing \p Path, making a completed rename
-/// inside it durable.  Best-effort on filesystems that reject directory
-/// fsync (reported errno EINVAL is ignored, the POSIX escape hatch).
-Status syncParentDir(const std::string &Path) {
+} // namespace
+
+// Doc comment in Serialize.h: the shared directory-fsync discipline.
+Status alic::syncParentDir(const std::string &Path) {
   FailOutcome F = ALIC_FAILPOINT("atomicfile.dirsync");
   if (F.Fire)
     return Status::failure("fsync dir of " + Path + " (injected)", F.Errno);
@@ -107,8 +107,6 @@ Status syncParentDir(const std::string &Path) {
     return Status::failure("fsync dir " + Dir, SavedErrno);
   return Status::success();
 }
-
-} // namespace
 
 Status ByteWriter::writeFileDurable(const std::string &Path) const {
   std::string TmpPath = Path + ".tmp";

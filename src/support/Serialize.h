@@ -27,6 +27,16 @@
 
 namespace alic {
 
+/// fsync of the directory containing \p Path, making a completed create,
+/// rename, or unlink inside it durable — the same discipline
+/// ByteWriter::writeFileDurable applies after its rename.  Exposed so
+/// other durable-file protocols (the campaign ledger's first create, the
+/// lease directory's claim/steal transitions) reuse it instead of
+/// re-deriving the fsync rules.  Best-effort on filesystems that reject
+/// directory fsync (errno EINVAL is ignored, the POSIX escape hatch).
+/// Fault-injection site: atomicfile.dirsync.
+Status syncParentDir(const std::string &Path);
+
 /// Appends scalars and vectors to a growing byte buffer.
 class ByteWriter {
 public:
@@ -38,6 +48,12 @@ public:
   void writeDouble(double Value);
   /// u64 length followed by the bytes.
   void writeString(const std::string &Value);
+  /// Raw bytes, verbatim, no length prefix — for text artifacts (e.g.
+  /// the merged campaign ledger) that want writeFileDurable's atomic
+  /// durable publish without the binary framing.
+  void writeRaw(const std::string &Value) {
+    Buffer.insert(Buffer.end(), Value.begin(), Value.end());
+  }
   void writeU16s(const std::vector<uint16_t> &Values);
   void writeDoubles(const std::vector<double> &Values);
 

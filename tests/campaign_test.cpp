@@ -16,9 +16,12 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <set>
+#include <thread>
 
 using namespace alic;
 
@@ -510,4 +513,236 @@ TEST(CampaignTest, PolicySweepAggregatesSkipsAndStaysLegacyCleanByDefault) {
   const RunResult &AlmRun = AlmCombo->PlanResults.front();
   EXPECT_EQ(AlmRun.Stats.Skips, AlmRun.Stats.Iterations);
   std::filesystem::remove_all(Options.StateDir);
+}
+
+//===----------------------------------------------------------------------===//
+// Scale-out: shard ledgers, lease claiming, verified merge
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Complete lines (with their '\n') of a ledger file.
+std::vector<std::string> ledgerLines(const std::string &Path) {
+  std::vector<std::string> Lines;
+  std::string Bytes = readFileBytes(Path);
+  size_t Pos = 0;
+  while (Pos < Bytes.size()) {
+    size_t Nl = Bytes.find('\n', Pos);
+    if (Nl == std::string::npos)
+      break;
+    Lines.push_back(Bytes.substr(Pos, Nl - Pos + 1));
+    Pos = Nl + 1;
+  }
+  return Lines;
+}
+
+void writeShard(const std::string &Path, const std::vector<std::string> &Lines,
+                const std::string &Tail = "") {
+  std::ofstream Out(Path, std::ios::binary);
+  for (const std::string &Line : Lines)
+    Out << Line;
+  Out << Tail;
+}
+
+/// A single-process reference campaign; returns its state dir.
+std::string referenceCampaign(const CampaignSpec &Spec,
+                              const std::string &Name) {
+  CampaignOptions Options;
+  Options.StateDir = freshStateDir(Name);
+  Options.Quiet = true;
+  CampaignProgress Progress = runCampaignCells(Spec, Options);
+  EXPECT_TRUE(Progress.Complete);
+  return Options.StateDir;
+}
+
+} // namespace
+
+TEST(CampaignMergeTest, ShuffledDuplicatedTornShardsMergeByteIdentical) {
+  CampaignSpec Spec = tinySpec();
+  std::string RefDir = referenceCampaign(Spec, "merge_ref");
+  CampaignOptions Ref;
+  Ref.StateDir = RefDir;
+  std::string RefBytes = readFileBytes(Ref.canonicalLedgerPath());
+  std::vector<std::string> Lines = ledgerLines(Ref.canonicalLedgerPath());
+  ASSERT_GT(Lines.size(), 5u);
+
+  // Deal the reference lines across three shards in reversed order, with
+  // one line duplicated into two shards, one garbage line, and a torn
+  // tail — everything a killed worker fleet can leave behind.
+  CampaignOptions Sharded;
+  Sharded.StateDir = freshStateDir("merge_shards");
+  std::filesystem::create_directories(Sharded.StateDir);
+  std::vector<std::string> A, B, C;
+  for (size_t I = Lines.size(); I-- > 0;)
+    (I % 3 == 0 ? A : I % 3 == 1 ? B : C).push_back(Lines[I]);
+  A.push_back(Lines[1]); // byte-identical duplicate of a shard-B line
+  B.push_back("this is not a json cell line\n");
+  writeShard(Sharded.StateDir + "/cells.w0.jsonl", A);
+  writeShard(Sharded.StateDir + "/cells.w1.jsonl", B,
+             "{\"cell\":\"run|torn-mid-app"); // torn tail, no newline
+  writeShard(Sharded.StateDir + "/cells.w2.jsonl", C);
+
+  LedgerMergeReport Report;
+  ASSERT_TRUE(mergeLedgers(Spec, Sharded, Report).ok());
+  EXPECT_TRUE(Report.Wrote);
+  EXPECT_TRUE(Report.ConflictKeys.empty());
+  EXPECT_EQ(Report.InputFiles, 3u);
+  EXPECT_EQ(Report.UniqueCells, Lines.size());
+  EXPECT_EQ(Report.DuplicateCells, 1u);
+  EXPECT_EQ(Report.TornTails, 1u);
+  EXPECT_EQ(Report.SkippedGarbage, 1u);
+  EXPECT_EQ(Report.ForeignCells, 0u);
+
+  // The merged canonical ledger is byte-identical to the single-process
+  // one, and aggregates to the same JSON.
+  EXPECT_EQ(readFileBytes(Sharded.canonicalLedgerPath()), RefBytes);
+  CampaignResult RefResult, MergedResult;
+  ASSERT_TRUE(aggregateCampaign(Spec, Ref, RefResult));
+  ASSERT_TRUE(aggregateCampaign(Spec, Sharded, MergedResult));
+  EXPECT_EQ(campaignJson(Spec, MergedResult), campaignJson(Spec, RefResult));
+
+  // Merging is idempotent: a second merge over its own output changes
+  // nothing (the canonical ledger is itself an input).
+  LedgerMergeReport Again;
+  ASSERT_TRUE(mergeLedgers(Spec, Sharded, Again).ok());
+  EXPECT_EQ(readFileBytes(Sharded.canonicalLedgerPath()), RefBytes);
+
+  std::filesystem::remove_all(RefDir);
+  std::filesystem::remove_all(Sharded.StateDir);
+}
+
+TEST(CampaignMergeTest, ConflictingDuplicateQuarantinesTheMerge) {
+  CampaignSpec Spec = tinySpec();
+  std::string RefDir = referenceCampaign(Spec, "conflict_ref");
+  CampaignOptions Ref;
+  Ref.StateDir = RefDir;
+  std::vector<std::string> Lines = ledgerLines(Ref.canonicalLedgerPath());
+  ASSERT_GT(Lines.size(), 2u);
+
+  // Shard B carries the same cell as shard A with one digit flipped —
+  // still parsable, same key, different bytes.  Cells are deterministic,
+  // so this is corruption, never a legitimate state.
+  std::string Tampered = Lines[0];
+  size_t Field = Tampered.find("\"iterations\":");
+  ASSERT_NE(Field, std::string::npos);
+  char &Digit = Tampered[Field + std::strlen("\"iterations\":")];
+  ASSERT_TRUE(Digit >= '0' && Digit <= '9');
+  Digit = Digit == '9' ? '1' : char(Digit + 1);
+
+  CampaignOptions Sharded;
+  Sharded.StateDir = freshStateDir("conflict_shards");
+  std::filesystem::create_directories(Sharded.StateDir);
+  writeShard(Sharded.StateDir + "/cells.w0.jsonl", Lines);
+  writeShard(Sharded.StateDir + "/cells.w1.jsonl", {Tampered});
+
+  LedgerMergeReport Report;
+  ASSERT_TRUE(mergeLedgers(Spec, Sharded, Report).ok());
+  EXPECT_FALSE(Report.Wrote);
+  ASSERT_EQ(Report.ConflictKeys.size(), 1u);
+  EXPECT_NE(Lines[0].find(Report.ConflictKeys[0]), std::string::npos);
+  // Quarantined: the canonical ledger was not written at all.
+  EXPECT_FALSE(std::filesystem::exists(Sharded.canonicalLedgerPath()));
+
+  std::filesystem::remove_all(RefDir);
+  std::filesystem::remove_all(Sharded.StateDir);
+}
+
+TEST(CampaignMergeTest, StaticShardsUnionMergesByteIdentical) {
+  CampaignSpec Spec = tinySpec();
+  std::string RefDir = referenceCampaign(Spec, "static_ref");
+  CampaignOptions Ref;
+  Ref.StateDir = RefDir;
+  std::string RefBytes = readFileBytes(Ref.canonicalLedgerPath());
+
+  CampaignOptions Sharded;
+  Sharded.StateDir = freshStateDir("static_shards");
+  Sharded.Quiet = true;
+  Sharded.ShardCount = 3;
+  size_t SliceSum = 0;
+  for (unsigned I = 0; I != 3; ++I) {
+    CampaignOptions Worker = Sharded;
+    Worker.ShardIndex = I;
+    CampaignProgress Progress = runCampaignCells(Spec, Worker);
+    EXPECT_TRUE(Progress.Complete) << "shard " << I;
+    EXPECT_EQ(Progress.NewlyRun, Progress.ShardCells);
+    SliceSum += Progress.ShardCells;
+    EXPECT_TRUE(std::filesystem::exists(Worker.ledgerPath()));
+  }
+  EXPECT_EQ(SliceSum, expandCells(Spec).size());
+
+  LedgerMergeReport Report;
+  ASSERT_TRUE(mergeLedgers(Spec, Sharded, Report).ok());
+  EXPECT_TRUE(Report.Wrote);
+  EXPECT_EQ(Report.DuplicateCells, 0u);
+  EXPECT_EQ(readFileBytes(Sharded.canonicalLedgerPath()), RefBytes);
+
+  std::filesystem::remove_all(RefDir);
+  std::filesystem::remove_all(Sharded.StateDir);
+}
+
+TEST(CampaignMergeTest, LeaseWorkersCooperateToByteIdenticalUnion) {
+  CampaignSpec Spec = tinySpec();
+  std::string RefDir = referenceCampaign(Spec, "lease_ref");
+  CampaignOptions Ref;
+  Ref.StateDir = RefDir;
+  std::string RefBytes = readFileBytes(Ref.canonicalLedgerPath());
+
+  // Two lease-claiming workers race over one state dir (threads here,
+  // processes in tools/chaos_smoke.py — the protocol is all filesystem).
+  CampaignOptions Base;
+  Base.StateDir = freshStateDir("lease_workers");
+  Base.Quiet = true;
+  Base.LeaseClaim = true;
+  Base.LeaseTtlMs = 5000;
+  Base.LeaseRangeCells = 2;
+  CampaignProgress Progress[2];
+  std::thread Workers[2];
+  for (int W = 0; W != 2; ++W)
+    Workers[W] = std::thread([&, W] {
+      CampaignOptions Mine = Base;
+      Mine.WorkerId = "w" + std::to_string(W);
+      Progress[W] = runCampaignCells(Spec, Mine);
+    });
+  for (std::thread &T : Workers)
+    T.join();
+
+  size_t NewlyRun = 0;
+  for (const CampaignProgress &P : Progress) {
+    // Lease workers return only when the whole spec is covered.
+    EXPECT_TRUE(P.Complete);
+    EXPECT_TRUE(P.QuarantinedCells.empty());
+    NewlyRun += P.NewlyRun;
+  }
+  EXPECT_GE(NewlyRun, expandCells(Spec).size());
+
+  LedgerMergeReport Report;
+  ASSERT_TRUE(mergeLedgers(Spec, Base, Report).ok());
+  EXPECT_TRUE(Report.Wrote);
+  EXPECT_TRUE(Report.ConflictKeys.empty());
+  EXPECT_EQ(readFileBytes(Base.canonicalLedgerPath()), RefBytes);
+
+  std::filesystem::remove_all(RefDir);
+  std::filesystem::remove_all(Base.StateDir);
+}
+
+TEST(CampaignMergeTest, MergeReadFailpointFailsTheMergeCleanly) {
+  CampaignSpec Spec = tinySpec();
+  std::string RefDir = referenceCampaign(Spec, "merge_fp");
+  CampaignOptions Ref;
+  Ref.StateDir = RefDir;
+
+  FailSpec Fail;
+  Fail.Nth = 1;
+  Fail.Count = 1;
+  ScopedFailPoint Armed("merge.read", Fail);
+  LedgerMergeReport Report;
+  EXPECT_FALSE(mergeLedgers(Spec, Ref, Report).ok());
+  EXPECT_FALSE(Report.Wrote);
+  std::filesystem::remove_all(RefDir);
 }

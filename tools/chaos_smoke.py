@@ -20,7 +20,16 @@ the real binaries, checking the repo's degrade-don't-abort contract:
    (EX_IOERR), and a clean re-launch must retry exactly the quarantined
    cells and render a byte-identical aggregate.
 
-3. *serve snapshot crash loop* — a suggest/observe client drives
+3. *sharded kill loop* — for every lease failpoint (lease.acquire,
+   lease.renew, lease.steal), three `--lease-claim` workers cooperate on
+   the 275-cell smoke spec while one of them is killed mid-syscall at the
+   armed site; the survivors steal the dead worker's expired range
+   leases, the union of shard ledgers is merged with `--merge-ledgers`,
+   and the merged canonical ledger plus the re-aggregated
+   BENCH_campaign.json must be byte-identical to a single-process
+   reference.
+
+4. *serve snapshot crash loop* — a suggest/observe client drives
    `alic_serve` while `snapshot.write=nth:K,mode:crash` kills the daemon
    at its K-th snapshot; the client restarts the daemon and resumes with
    the documented at-least-once retry (re-suggest; a reply equal to the
@@ -80,13 +89,15 @@ def read_bytes(path):
 # Campaign chaos
 # ---------------------------------------------------------------------------
 
-def campaign_cmd(binary, state_dir, out, small):
-    cmd = [binary, f"--state-dir={state_dir}", f"--out={out}"]
+def spec_flags(small):
     if small:
-        cmd += ["--benchmarks=atax,mvt", "--seeds=1"]
-    else:
-        cmd += ["--models=dynatree,gp", "--scorers=alm,alc", "--seeds=2"]
-    return cmd
+        return ["--benchmarks=atax,mvt", "--seeds=1"]
+    return ["--models=dynatree,gp", "--scorers=alm,alc", "--seeds=2"]
+
+
+def campaign_cmd(binary, state_dir, out, small):
+    return ([binary, f"--state-dir={state_dir}", f"--out={out}"]
+            + spec_flags(small))
 
 
 def run_campaign(binary, state_dir, out, small, failpoints=None):
@@ -170,6 +181,116 @@ def campaign_enospc_quarantine(binary, workdir, small):
         fail("enospc resume aggregate diverged from reference")
     print(f"chaos_smoke: campaign ENOSPC ({label}): {len(quarantined)} "
           f"cell(s) quarantined, resume byte-identical")
+
+
+# ---------------------------------------------------------------------------
+# Sharded campaign chaos
+# ---------------------------------------------------------------------------
+
+LEASE_SITES = ["lease.acquire", "lease.renew", "lease.steal"]
+SHARD_WORKERS = 3
+LEASE_TTL_MS = 800
+
+
+def lease_worker_cmd(binary, state_dir, out, small, worker, range_cells):
+    # The 25 ms heartbeat makes lease.renew fire early in a range even on
+    # fast specs (the default ttl/4 cadence can outlive a whole range).
+    return campaign_cmd(binary, state_dir, out, small) + [
+        "--lease-claim", f"--lease-ttl-ms={LEASE_TTL_MS}",
+        "--lease-heartbeat-ms=25",
+        f"--lease-range-cells={range_cells}", f"--worker-id=w{worker}"]
+
+
+def plant_expired_leases(state_dir, range_cells, cell_count):
+    """Ghost leases from a fleet that was SIGKILLed wholesale: one expired
+    lease file per range, so every worker's first claim goes through the
+    steal path (the only way to make lease.steal fire deterministically).
+    """
+    lease_dir = os.path.join(state_dir, "leases")
+    os.makedirs(lease_dir, exist_ok=True)
+    ranges = (cell_count + range_cells - 1) // range_cells
+    long_ago = time.time() - 60
+    for index in range(ranges):
+        path = os.path.join(lease_dir, f"range-{index}.lease")
+        with open(path, "w") as stream:
+            stream.write("ghost-fleet\n")
+        os.utime(path, (long_ago, long_ago))
+
+
+def campaign_sharded_kill(binary, workdir, small):
+    """3 lease workers, one killed at every lease site; survivors reclaim."""
+    label = "small" if small else "275-cell"
+    cell_count = 14 if small else 275
+    range_cells = 2 if small else 16
+    ref_dir = os.path.join(workdir, "shard_ref")
+    ref_out = os.path.join(workdir, "shard_ref.json")
+    proc = run_campaign(binary, ref_dir, ref_out, small=small)
+    if proc.returncode != 0:
+        fail(f"sharded reference failed: rc={proc.returncode}\n{proc.stderr}")
+    reference_json = read_bytes(ref_out)
+    reference_ledger = read_bytes(os.path.join(ref_dir, "cells.jsonl"))
+
+    for site in LEASE_SITES:
+        tag = site.replace(".", "_")
+        state_dir = os.path.join(workdir, f"shard_{tag}")
+        if site == "lease.steal":
+            plant_expired_leases(state_dir, range_cells, cell_count)
+        # Arm the failpoint in worker w0 only; w1/w2 run clean.  nth:2 for
+        # renew (the first renewal happens mid-range, after real work has
+        # been appended — the dead worker leaves a partial shard ledger).
+        nth = 2 if site == "lease.renew" else 1
+        procs = []
+        for worker in range(SHARD_WORKERS):
+            env = dict(os.environ, ALIC_SCALE="smoke")
+            env.pop("ALIC_FAILPOINTS", None)
+            if worker == 0:
+                env["ALIC_FAILPOINTS"] = f"{site}=nth:{nth},mode:crash"
+            out = os.path.join(workdir, f"shard_{tag}_w{worker}.json")
+            procs.append(subprocess.Popen(
+                lease_worker_cmd(binary, state_dir, out, small, worker,
+                                 range_cells),
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+                text=True))
+        codes = []
+        for worker, proc in enumerate(procs):
+            try:
+                stdout, stderr = proc.communicate(timeout=900)
+            except subprocess.TimeoutExpired:
+                for p in procs:
+                    p.kill()
+                fail(f"{site}: worker w{worker} wedged (survivors failed "
+                     f"to reclaim the dead worker's leases?)")
+            codes.append(proc.returncode)
+            if worker and proc.returncode != 0:
+                fail(f"{site}: survivor w{worker} exited {proc.returncode}"
+                     f"\n{stderr}")
+        if codes[0] != CRASH_EXIT:
+            fail(f"{site}: armed worker w0 exited {codes[0]}, want "
+                 f"{CRASH_EXIT} (the failpoint never fired?)")
+
+        # Merge the survivors' (and the victim's partial) shard ledgers:
+        # the canonical ledger must be byte-identical to the
+        # single-process reference, and so must the re-aggregated JSON.
+        merge = subprocess.run(
+            [binary, f"--state-dir={state_dir}", "--merge-ledgers"]
+            + spec_flags(small),
+            env=dict(os.environ, ALIC_SCALE="smoke"), capture_output=True,
+            text=True)
+        if merge.returncode != 0:
+            fail(f"{site}: merge exited {merge.returncode}\n{merge.stderr}")
+        merged_ledger = read_bytes(os.path.join(state_dir, "cells.jsonl"))
+        if merged_ledger != reference_ledger:
+            fail(f"{site}: merged ledger diverged from the single-process "
+                 f"reference ({state_dir}/cells.jsonl)")
+        out = os.path.join(workdir, f"shard_{tag}.json")
+        proc = run_campaign(binary, state_dir, out, small=small)
+        if proc.returncode != 0:
+            fail(f"{site}: aggregate over merged ledger exited "
+                 f"{proc.returncode}\n{proc.stderr}")
+        if read_bytes(out) != reference_json:
+            fail(f"{site}: aggregate diverged from reference after merge")
+        print(f"chaos_smoke: campaign sharded ({label}) {site}: w0 killed, "
+              f"survivors reclaimed, merge byte-identical")
 
 
 # ---------------------------------------------------------------------------
@@ -342,6 +463,9 @@ def main():
     parser.add_argument("--small-enospc", action="store_true",
                         help="run the ENOSPC probe on the 8-cell spec "
                              "instead of the 275-cell smoke spec")
+    parser.add_argument("--small-shard", action="store_true",
+                        help="run the sharded kill loop on the small spec "
+                             "instead of the 275-cell smoke spec")
     args = parser.parse_args()
     campaign = os.path.abspath(args.campaign_binary)
     serve = os.path.abspath(args.serve_binary)
@@ -356,6 +480,7 @@ def main():
     campaign_crash_loops(campaign, args.workdir)
     campaign_enospc_quarantine(campaign, args.workdir,
                                small=args.small_enospc)
+    campaign_sharded_kill(campaign, args.workdir, small=args.small_shard)
     reference = serve_reference(serve, args.workdir)
     serve_snapshot_crash_loop(serve, args.workdir, reference)
 
